@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+	"github.com/caps-sim/shs-k8s/internal/vnisvc/httpapi"
+)
+
+// TestFetchVNIEndToEnd drives the plugin's VNI fetch against a live
+// cmd/vnisvc-style HTTP endpoint: a job sync allocates the VNI, then the
+// plugin resolves it for the job's pod — the binary-form equivalent of the
+// in-process flow tested in internal/cni.
+func TestFetchVNIEndToEnd(t *testing.T) {
+	db := vnidb.Open(vnidb.Options{MinVNI: 3000, MaxVNI: 3010, Quarantine: time.Second})
+	srv := httptest.NewServer(httpapi.NewServer(db))
+	defer srv.Close()
+
+	// The VNI controller syncs the job, allocating its VNI.
+	body, _ := json.Marshal(httpapi.SyncRequest{Parent: httpapi.ParentRef{
+		Kind: "Job", Namespace: "tenant", Name: "mpi", UID: "u1",
+		Annotations: map[string]string{"vni": "true"},
+	}})
+	resp, err := http.Post(srv.URL+"/sync", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sync status %d", resp.StatusCode)
+	}
+
+	// The CNI binary resolves the pod's VNI from the endpoint.
+	vni, err := fetchVNI(srv.URL, "tenant", "mpi-0")
+	if err != nil {
+		t.Fatalf("fetchVNI: %v", err)
+	}
+	if vni != 3000 {
+		t.Errorf("vni = %d, want 3000", vni)
+	}
+
+	// A pod of an unknown job gets a clean failure (container must not
+	// launch).
+	if _, err := fetchVNI(srv.URL, "tenant", "ghost-0"); err == nil {
+		t.Error("fetchVNI succeeded for unknown job")
+	}
+
+	// Full ADD state flow with the fetched VNI.
+	t.Setenv("CXICNI_STATE_DIR", t.TempDir())
+	svcID, err := stateCreateService("ctr-1", 4026532000, uint32(vni))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := stateCheckService("ctr-1"); !ok {
+		t.Error("service state missing after ADD")
+	}
+	if err := stateDeleteService("ctr-1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = svcID
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseArgs(t *testing.T) {
+	got := parseArgs("K8S_POD_NAMESPACE=ns;K8S_POD_NAME=pod-0;IgnoreUnknown=1")
+	if got["K8S_POD_NAMESPACE"] != "ns" || got["K8S_POD_NAME"] != "pod-0" {
+		t.Errorf("parseArgs = %v", got)
+	}
+	if len(parseArgs("")) != 0 {
+		t.Error("empty args not empty")
+	}
+	if len(parseArgs("novalue")) != 0 {
+		t.Error("malformed arg accepted")
+	}
+}
+
+func TestNetnsInodeForms(t *testing.T) {
+	if got := netnsInode("4026531992"); got != 4026531992 {
+		t.Errorf("numeric inode = %d", got)
+	}
+	// Path form falls back to a deterministic hash off-Linux.
+	a := netnsInode("/var/run/netns/cni-abc")
+	b := netnsInode("/var/run/netns/cni-abc")
+	c := netnsInode("/var/run/netns/cni-def")
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == c {
+		t.Error("distinct paths collide")
+	}
+}
+
+func TestStateLifecycle(t *testing.T) {
+	t.Setenv("CXICNI_STATE_DIR", t.TempDir())
+	id, err := stateCreateService("c1", 4026531992, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id < 2 {
+		t.Errorf("svc id = %d, must be after the default service", id)
+	}
+	// Idempotent re-ADD returns the same service.
+	id2, err := stateCreateService("c1", 4026531992, 4242)
+	if err != nil || id2 != id {
+		t.Errorf("re-add: id=%d err=%v", id2, err)
+	}
+	ok, err := stateCheckService("c1")
+	if err != nil || !ok {
+		t.Errorf("check: ok=%v err=%v", ok, err)
+	}
+	if err := stateDeleteService("c1"); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = stateCheckService("c1")
+	if err != nil || ok {
+		t.Errorf("check after delete: ok=%v err=%v", ok, err)
+	}
+	// DEL is idempotent.
+	if err := stateDeleteService("c1"); err != nil {
+		t.Errorf("second delete: %v", err)
+	}
+}
+
+func TestFetchVNIAgainstEndpoint(t *testing.T) {
+	// Covered end-to-end in the integration test (see below); here only
+	// the error path without a server.
+	if _, err := fetchVNI("http://127.0.0.1:1", "ns", "pod-0"); err == nil {
+		t.Error("fetchVNI succeeded with no endpoint")
+	}
+	if _, err := fetchVNI("http://127.0.0.1:1", "", ""); err == nil {
+		t.Error("fetchVNI succeeded without pod identity")
+	}
+}

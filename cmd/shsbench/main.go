@@ -1,0 +1,150 @@
+// Command shsbench regenerates the paper's evaluation artefacts: Table I
+// and Figures 5-12, printed as data tables (the same series the paper
+// plots).
+//
+// Usage:
+//
+//	shsbench -exp all
+//	shsbench -exp fig5 -runs 10
+//	shsbench -exp fig12 -runs 5 -seed 42
+//
+// Experiments: table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
+// comm (fig5-8), admission (fig9-12), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/caps-sim/shs-k8s/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (table1, fig5..fig12, comm, admission, all)")
+	runs := flag.Int("runs", 0, "repetitions per mode (0 = paper defaults: 10 comm / 5 admission)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	if err := run(*exp, *runs, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "shsbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, runs int, seed int64) error {
+	selected := func(names ...string) bool {
+		if exp == "all" {
+			return true
+		}
+		for _, n := range names {
+			if exp == n {
+				return true
+			}
+		}
+		return false
+	}
+	header := func(title string) {
+		fmt.Printf("\n===== %s =====\n", title)
+	}
+
+	if selected("table1") {
+		header("Table I: Software versions")
+		harness.RenderTable1(os.Stdout)
+	}
+
+	commRuns := runs
+	if commRuns == 0 {
+		commRuns = 10
+	}
+	if selected("fig5", "fig6", "comm") {
+		fig, err := harness.RunCommFigure(harness.BenchBw, commRuns, seed)
+		if err != nil {
+			return err
+		}
+		if selected("fig5", "comm") {
+			header("Figure 5: Average Throughput via osu_bw (MB/s)")
+			harness.RenderCommValues(os.Stdout, fig, "MB/s")
+		}
+		if selected("fig6", "comm") {
+			header("Figure 6: Average Throughput Overhead via osu_bw")
+			harness.RenderCommOverhead(os.Stdout, fig)
+		}
+	}
+	if selected("fig7", "fig8", "comm") {
+		lruns := commRuns
+		if exp == "fig8" && runs == 0 {
+			lruns = 25 // the paper uses 25 runs for the latency overhead
+		}
+		fig, err := harness.RunCommFigure(harness.BenchLatency, lruns, seed+1)
+		if err != nil {
+			return err
+		}
+		if selected("fig7", "comm") {
+			header("Figure 7: Average Latency via osu_latency (us)")
+			harness.RenderCommValues(os.Stdout, fig, "us")
+		}
+		if selected("fig8", "comm") {
+			header("Figure 8: Average Latency Overhead via osu_latency")
+			harness.RenderCommOverhead(os.Stdout, fig)
+		}
+	}
+
+	admRuns := runs
+	if admRuns == 0 {
+		admRuns = 5
+	}
+	var ramp, spike *harness.AdmissionFigure
+	var err error
+	if selected("fig9", "fig10", "fig12", "admission") {
+		ramp, err = harness.RunAdmissionFigure(harness.PatternRamp, admRuns, seed+2)
+		if err != nil {
+			return err
+		}
+	}
+	if selected("fig11", "fig12", "admission") {
+		spike, err = harness.RunAdmissionFigure(harness.PatternSpike, admRuns, seed+3)
+		if err != nil {
+			return err
+		}
+	}
+	if selected("fig9", "admission") {
+		header("Figure 9: Running Jobs during Ramp Test")
+		harness.RenderRunningJobs(os.Stdout, ramp)
+	}
+	if selected("fig10", "admission") {
+		header("Figure 10: Job Admission Delay per Batch (Ramp)")
+		harness.RenderAdmissionDelayPerBatch(os.Stdout, ramp)
+	}
+	if selected("fig11", "admission") {
+		header("Figure 11: Running Jobs during Spike Test")
+		harness.RenderRunningJobs(os.Stdout, spike)
+	}
+	if selected("fig12", "admission") {
+		header("Figure 12: Admission Delay Boxplots")
+		harness.RenderAdmissionBoxplot(os.Stdout, ramp)
+		harness.RenderAdmissionBoxplot(os.Stdout, spike)
+	}
+	if selected("overlay") {
+		// Extension experiment: overlay datapath vs Slingshot RDMA, the
+		// paper's §II-D motivation.
+		rows, err := harness.RunOverlayComparison(seed, nil)
+		if err != nil {
+			return err
+		}
+		header("Extension: Overlay vs Slingshot RDMA")
+		harness.RenderOverlayComparison(os.Stdout, rows)
+	}
+	if selected("tc") {
+		// Extension experiment (not a paper figure): traffic-class
+		// isolation for co-scheduled applications, use-case (1) of the
+		// paper's introduction.
+		res, err := harness.RunTrafficClassExperiment(harness.DefaultTCOptions())
+		if err != nil {
+			return err
+		}
+		header("Extension: Traffic-Class Interference (use-case 1)")
+		harness.RenderTrafficClasses(os.Stdout, res)
+	}
+	return nil
+}

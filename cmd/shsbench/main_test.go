@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+)
+
+// TestRunCheapExperiments exercises the CLI driver on the experiments that
+// complete in well under a second; the figure sweeps are covered by the
+// top-level benchmarks.
+func TestRunCheapExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "tc"} {
+		if err := run(exp, 1, 1); err != nil {
+			t.Errorf("run(%q): %v", exp, err)
+		}
+	}
+}
+
+func TestRunUnknownExperimentIsNoop(t *testing.T) {
+	// Unknown names select nothing and must not error.
+	if err := run("no-such-figure", 1, 1); err != nil {
+		t.Errorf("run(unknown): %v", err)
+	}
+}
+
+func TestRunSingleAdmissionFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("admission figure sweep in -short mode")
+	}
+	if err := run("fig10", 1, 1); err != nil {
+		t.Errorf("run(fig10): %v", err)
+	}
+}

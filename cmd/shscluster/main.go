@@ -1,0 +1,196 @@
+// Command shscluster runs an interactive-speed demonstration of the whole
+// stack: it assembles the simulated two-node deployment, submits a mix of
+// vni:true jobs, claim-sharing jobs and plain jobs, and prints a timeline
+// of cluster state — the closest thing to watching `kubectl get jobs,vnis`
+// against a real deployment of the paper's system.
+//
+// Usage:
+//
+//	shscluster [-jobs 6] [-claim demo] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/manifest"
+	"github.com/caps-sim/shs-k8s/internal/stack"
+	"github.com/caps-sim/shs-k8s/internal/vniapi"
+	"github.com/caps-sim/shs-k8s/internal/vnisvc"
+)
+
+func main() {
+	jobs := flag.Int("jobs", 6, "number of vni:true jobs to submit")
+	claim := flag.String("claim", "demo", "claim name shared by two extra jobs")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	file := flag.String("f", "", "submit objects from a YAML manifest (paper Listings 1-3) instead of the built-in demo")
+	flag.Parse()
+
+	opts := stack.DefaultOptions()
+	opts.Seed = *seed
+	st := stack.New(opts)
+	if *file != "" {
+		runManifest(st, *file)
+		return
+	}
+	st.Cluster.CreateNamespace("demo")
+
+	fmt.Println("== Slingshot-K8s demo cluster (2 nodes, VNI service installed) ==")
+
+	// A claim shared by two jobs (paper Listings 2+3).
+	st.Cluster.API.Create(vnisvc.NewClaim("demo", *claim, *claim), nil)
+	st.Eng.RunFor(2 * time.Second)
+	for i := 0; i < 2; i++ {
+		job := k8s.EchoJob("demo", fmt.Sprintf("claim-job-%d", i),
+			map[string]string{vniapi.Annotation: *claim})
+		job.Spec.Template.RunDuration = 8 * time.Second
+		job.Spec.DeleteAfterFinished = false
+		st.Cluster.SubmitJob(job, nil)
+	}
+	// Per-resource VNI jobs (paper Listing 1).
+	for i := 0; i < *jobs; i++ {
+		job := k8s.EchoJob("demo", fmt.Sprintf("vni-job-%d", i),
+			map[string]string{vniapi.Annotation: vniapi.AnnotationValueTrue})
+		job.Spec.Template.RunDuration = 5 * time.Second
+		job.Spec.DeleteAfterFinished = false
+		st.Cluster.SubmitJob(job, nil)
+	}
+	// One plain job without Slingshot access.
+	st.Cluster.SubmitJob(k8s.EchoJob("demo", "plain-job", nil), nil)
+
+	for tick := 0; tick < 12; tick++ {
+		st.Eng.RunFor(2 * time.Second)
+		printState(st, tick)
+	}
+
+	fmt.Println("\n== deleting all jobs ==")
+	for _, obj := range st.Cluster.API.List(k8s.KindJob, "demo") {
+		m := obj.GetMeta()
+		st.Cluster.API.Delete(k8s.KindJob, m.Namespace, m.Name, nil)
+	}
+	st.Eng.RunFor(20 * time.Second)
+	st.Cluster.API.Delete(vniapi.KindVniClaim, "demo", "claim-obj", nil)
+	st.Eng.RunFor(20 * time.Second)
+	printState(st, -1)
+
+	fmt.Println("\n== VNI database audit log (last 10) ==")
+	audit := st.DB.Audit()
+	if len(audit) > 10 {
+		audit = audit[len(audit)-10:]
+	}
+	for _, e := range audit {
+		fmt.Printf("  seq=%03d t=%s %-12s vni=%d owner=%s user=%s\n",
+			e.Seq, e.At, e.Op, e.VNI, e.Owner, e.User)
+	}
+}
+
+func printState(st *stack.Stack, tick int) {
+	label := fmt.Sprintf("t=%s", st.Eng.Now())
+	if tick < 0 {
+		label = "final"
+	}
+	fmt.Printf("\n-- %s --\n", label)
+	fmt.Printf("%-16s %-10s %-8s %-9s %s\n", "JOB", "STATUS", "ACTIVE", "SUCCEEDED", "VNI")
+	vniByJob := map[string]string{}
+	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "demo") {
+		cr := obj.(*k8s.Custom)
+		v := cr.Spec[vniapi.SpecVNI]
+		if cr.Spec[vniapi.SpecVirtual] == "true" {
+			v += " (claim)"
+		}
+		vniByJob[cr.Spec[vniapi.SpecJob]] = v
+	}
+	for _, obj := range st.Cluster.API.List(k8s.KindJob, "demo") {
+		job := obj.(*k8s.Job)
+		status := "Running"
+		if job.Status.Completed {
+			status = "Complete"
+		} else if job.Status.Active == 0 {
+			status = "Pending"
+		}
+		vni := vniByJob[job.Meta.Name]
+		if vni == "" {
+			vni = "-"
+		}
+		fmt.Printf("%-16s %-10s %-8d %-9d %s\n",
+			job.Meta.Name, status, job.Status.Active, job.Status.Succeeded, vni)
+	}
+	dbst := st.DB.Stats()
+	fmt.Printf("vni pool: %d allocated, %d quarantined / %d\n",
+		dbst.Allocated, dbst.Quarantined, dbst.PoolSize)
+	for _, n := range st.Nodes {
+		fmt.Printf("%s: %d cxi services, %d sandboxes\n",
+			n.Name, len(n.Device.SvcList())-1, n.Runtime.Sandboxes())
+	}
+}
+
+// runManifest submits the objects declared in a YAML file and reports on
+// their lifecycle, kubectl-apply style.
+func runManifest(st *stack.Stack, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatalf("shscluster: %v", err)
+	}
+	defer f.Close()
+	objs, err := manifest.Parse(f)
+	if err != nil {
+		log.Fatalf("shscluster: %v", err)
+	}
+	namespaces := map[string]bool{}
+	for _, obj := range objs {
+		ns := obj.GetMeta().Namespace
+		if !namespaces[ns] {
+			namespaces[ns] = true
+			st.Cluster.CreateNamespace(ns)
+		}
+	}
+	st.Eng.RunFor(time.Second)
+	for _, obj := range objs {
+		m := obj.GetMeta()
+		var createErr error
+		st.Cluster.API.Create(obj, func(err error) { createErr = err })
+		st.Eng.RunFor(time.Second)
+		if createErr != nil {
+			log.Fatalf("shscluster: creating %s %s: %v", m.Kind, m.Key(), createErr)
+		}
+		fmt.Printf("%s/%s created\n", m.Kind, m.Name)
+	}
+	// Watch until declared jobs settle.
+	for tick := 0; tick < 30; tick++ {
+		st.Eng.RunFor(2 * time.Second)
+		done := true
+		for _, obj := range objs {
+			if obj.GetMeta().Kind != k8s.KindJob {
+				continue
+			}
+			m := obj.GetMeta()
+			if job, ok := st.Cluster.Job(m.Namespace, m.Name); ok && !job.Status.Completed {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+	for _, obj := range objs {
+		m := obj.GetMeta()
+		switch m.Kind {
+		case k8s.KindJob:
+			if job, ok := st.Cluster.Job(m.Namespace, m.Name); ok {
+				fmt.Printf("job %s: completed=%v succeeded=%d\n", m.Name, job.Status.Completed, job.Status.Succeeded)
+			} else {
+				fmt.Printf("job %s: deleted (ttl)\n", m.Name)
+			}
+		case vniapi.KindVniClaim:
+			fmt.Printf("vniclaim %s: present\n", m.Name)
+		}
+	}
+	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "") {
+		cr := obj.(*k8s.Custom)
+		fmt.Printf("vni CRD %s: vni=%s job=%s\n", cr.Meta.Name, cr.Spec[vniapi.SpecVNI], cr.Spec[vniapi.SpecJob])
+	}
+}

@@ -1,0 +1,85 @@
+// Command vnisvc runs the VNI Endpoint as a real HTTP service: the
+// Metacontroller-style /sync and /finalize webhooks in front of the ACID
+// VNI database, exactly as the paper deploys it as a pod in the cluster
+// (§III-C2). A write-ahead log file makes allocations survive restarts.
+//
+// Endpoints:
+//
+//	POST /sync      — webhook body: {parent} → desired children
+//	POST /finalize  — webhook body: {parent} → {finalized, children}
+//	GET  /vnis      — current allocation table (JSON)
+//	GET  /audit     — audit log (JSON)
+//	GET  /healthz   — liveness
+//
+// Usage:
+//
+//	vnisvc -listen :8080 -wal /var/lib/vnisvc/wal.jsonl -min 1024 -max 65535
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+	"github.com/caps-sim/shs-k8s/internal/vnisvc/httpapi"
+)
+
+func main() {
+	listen := flag.String("listen", ":8080", "listen address")
+	walPath := flag.String("wal", "", "write-ahead log file (empty = in-memory only)")
+	minVNI := flag.Uint("min", 1024, "lowest allocatable VNI")
+	maxVNI := flag.Uint("max", 65535, "highest allocatable VNI")
+	quarantine := flag.Duration("quarantine", 30*time.Second, "VNI release quarantine")
+	flag.Parse()
+
+	opts := vnidb.Options{
+		MinVNI:     fabric.VNI(*minVNI),
+		MaxVNI:     fabric.VNI(*maxVNI),
+		Quarantine: *quarantine,
+	}
+	db, closeWAL, err := openDB(opts, *walPath)
+	if err != nil {
+		log.Fatalf("vnisvc: %v", err)
+	}
+	defer closeWAL()
+
+	srv := httpapi.NewServer(db)
+	log.Printf("vnisvc: VNI endpoint listening on %s (pool %d-%d, quarantine %v)",
+		*listen, opts.MinVNI, opts.MaxVNI, *quarantine)
+	if err := http.ListenAndServe(*listen, srv); err != nil {
+		log.Fatalf("vnisvc: %v", err)
+	}
+}
+
+// openDB opens the database, recovering from and appending to the WAL file
+// when one is configured.
+func openDB(opts vnidb.Options, walPath string) (*vnidb.DB, func(), error) {
+	if walPath == "" {
+		return vnidb.Open(opts), func() {}, nil
+	}
+	w, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o600)
+	if err != nil {
+		return nil, nil, err
+	}
+	opts.WAL = w
+	f, err := os.Open(walPath)
+	if err != nil {
+		w.Close()
+		return nil, nil, err
+	}
+	defer f.Close()
+	db, err := vnidb.Recover(f, opts)
+	if err != nil {
+		w.Close()
+		return nil, nil, fmt.Errorf("recovering %s: %w", walPath, err)
+	}
+	if n := db.Stats().Allocated; n > 0 {
+		log.Printf("vnisvc: recovered %d allocations from %s", n, walPath)
+	}
+	return db, func() { w.Close() }, nil
+}

@@ -1,0 +1,13 @@
+// Package shsk8s is a from-scratch Go reproduction of "Closing the
+// HPC-Cloud Convergence Gap: Multi-Tenant Slingshot RDMA for Kubernetes"
+// (Friese et al., IEEE CLUSTER 2025): secure, container-granular,
+// multi-tenant access to Slingshot RDMA networking under Kubernetes.
+//
+// The public entry points live under internal/ (this is a research
+// reproduction, versioned as a whole): see internal/stack to assemble a
+// full simulated deployment, internal/vnisvc for the VNI Service,
+// internal/cni for the CXI CNI plugin, and internal/harness for the
+// paper's evaluation. The top-level bench_test.go regenerates every table
+// and figure of the paper's evaluation section; see DESIGN.md and
+// EXPERIMENTS.md.
+package shsk8s

@@ -1,0 +1,57 @@
+// Osu-bench: run the OSU micro-benchmarks (osu_bw, osu_latency) across the
+// paper's three measurement modes — directly on the host, in pods with the
+// Slingshot integration (vni:true), and in pods on the globally accessible
+// VNI (vni:false) — and print compact versions of Figures 5-8.
+//
+//	go run ./examples/osu-bench [-runs 3] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/caps-sim/shs-k8s/internal/harness"
+)
+
+func main() {
+	runs := flag.Int("runs", 3, "repetitions per mode")
+	full := flag.Bool("full", false, "full 1B..1MB size sweep (default: 8 sizes)")
+	flag.Parse()
+
+	for _, kind := range []harness.BenchKind{harness.BenchBw, harness.BenchLatency} {
+		fig := &harness.CommFigure{Kind: kind}
+		for _, m := range []struct {
+			mode harness.CommMode
+			dst  **harness.CommSeries
+		}{
+			{harness.ModeHost, &fig.Host},
+			{harness.ModeVNITrue, &fig.VNITrue},
+			{harness.ModeVNIFalse, &fig.VNIFalse},
+		} {
+			opts := harness.DefaultCommOptions(kind, m.mode)
+			opts.Runs = *runs
+			if !*full {
+				opts.OSU.Sizes = []int{1, 8, 64, 512, 4096, 65536, 512 * 1024, 1 << 20}
+			}
+			fmt.Fprintf(os.Stderr, "running %s %s (%d runs)...\n", kind, m.mode, *runs)
+			s, err := harness.RunComm(opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			*m.dst = s
+		}
+		unit := "MB/s"
+		if kind == harness.BenchLatency {
+			unit = "us"
+		}
+		fmt.Printf("\n== %s ==\n", kind)
+		harness.RenderCommValues(os.Stdout, fig, unit)
+		fmt.Printf("\n-- overhead vs host --\n")
+		harness.RenderCommOverhead(os.Stdout, fig)
+		fmt.Printf("\nmax |overhead|: vni:true %.2f%%, vni:false %.2f%% (paper: within 1%%)\n",
+			fig.MaxAbsOverheadPct(harness.ModeVNITrue),
+			fig.MaxAbsOverheadPct(harness.ModeVNIFalse))
+	}
+}

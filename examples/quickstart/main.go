@@ -1,0 +1,135 @@
+// Quickstart: bring up the simulated two-node Slingshot-Kubernetes
+// deployment, submit a job with the `vni: "true"` annotation (paper
+// Listing 1), and run an RDMA ping-pong between its two pods over the
+// job's private Virtual Network.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/libfabric"
+	"github.com/caps-sim/shs-k8s/internal/mpi"
+	"github.com/caps-sim/shs-k8s/internal/stack"
+	"github.com/caps-sim/shs-k8s/internal/vniapi"
+)
+
+func main() {
+	// 1. Assemble the deployment: fabric + CXI NICs + CNI chain +
+	//    Kubernetes + VNI service (DESIGN.md §3).
+	st := stack.New(stack.DefaultOptions())
+	st.Cluster.CreateNamespace("quickstart")
+	fmt.Println("cluster up: 2 nodes, VNI service installed")
+
+	// 2. Submit a two-pod job requesting Slingshot access. The single
+	//    annotation is the entire user-facing interface.
+	job := &k8s.Job{
+		Meta: k8s.Meta{
+			Kind: k8s.KindJob, Namespace: "quickstart", Name: "pingpong",
+			Annotations: map[string]string{vniapi.Annotation: "true"},
+		},
+		Spec: k8s.JobSpec{
+			Parallelism: 2,
+			Template:    k8s.PodSpec{Image: "pingpong:latest", RunDuration: time.Hour},
+		},
+	}
+	st.Cluster.SubmitJob(job, nil)
+
+	// 3. Wait for the pods; the scheduler spreads them across both nodes.
+	for i := 0; i < 100; i++ {
+		st.Eng.RunFor(200 * time.Millisecond)
+		if running(st) == 2 {
+			break
+		}
+	}
+	if running(st) != 2 {
+		log.Fatal("pods did not start")
+	}
+
+	// 4. Read the VNI the service assigned to the job.
+	vni := jobVNI(st)
+	fmt.Printf("job admitted, VNI service assigned VNI %d\n", vni)
+
+	// 5. Open an RDMA domain inside each pod. Authentication is by the
+	//    pod's network namespace — no UID/GID involved.
+	var doms []*libfabric.Domain
+	for _, obj := range st.Cluster.API.List(k8s.KindPod, "quickstart") {
+		pod := obj.(*k8s.Pod)
+		node, _ := st.NodeByName(pod.Spec.NodeName)
+		proc, err := node.Runtime.Exec(pod.Meta.Namespace, pod.Meta.Name, "rank", 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := libfabric.OpenDomain(st.Eng, libfabric.Info{
+			Device: node.Device, Caller: proc.PID, VNI: vni, TC: fabric.TCLowLatency})
+		if err != nil {
+			log.Fatal(err)
+		}
+		doms = append(doms, d)
+		fmt.Printf("  pod %s on %s: RDMA endpoint %v\n", pod.Meta.Name, pod.Spec.NodeName, d.Addr())
+	}
+
+	// 6. Ping-pong: 1000 round trips of 8 B.
+	comm, err := mpi.Connect(st.Eng, doms...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const rounds = 1000
+	done := 0
+	start := st.Eng.Now()
+	var round func()
+	round = func() {
+		if done >= rounds {
+			return
+		}
+		comm.Ranks[1].Recv(func(sz int) { comm.Ranks[1].Isend(sz, nil) })
+		comm.Ranks[0].SendRecv(8, func(int) {
+			done++
+			round()
+		})
+	}
+	st.Eng.After(0, round)
+	for done < rounds && st.Eng.Step() {
+	}
+	rtt := st.Eng.Now().Sub(start) / rounds
+	fmt.Printf("pingpong: %d round trips, avg RTT %v (one-way latency ~%v)\n",
+		rounds, rtt, rtt/2)
+
+	// 7. Tear down: deleting the job releases the VNI (after the 30 s
+	//    quarantine it becomes reusable).
+	st.Cluster.API.Delete(k8s.KindJob, "quickstart", "pingpong", nil)
+	st.Eng.RunFor(30 * time.Second)
+	stats := st.DB.Stats()
+	fmt.Printf("job deleted: %d VNIs allocated, %d quarantined\n", stats.Allocated, stats.Quarantined)
+}
+
+func running(st *stack.Stack) int {
+	n := 0
+	for _, obj := range st.Cluster.API.List(k8s.KindPod, "quickstart") {
+		if obj.(*k8s.Pod).Status.Phase == k8s.PodRunning {
+			n++
+		}
+	}
+	return n
+}
+
+func jobVNI(st *stack.Stack) fabric.VNI {
+	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "quickstart") {
+		cr := obj.(*k8s.Custom)
+		if cr.Spec[vniapi.SpecJob] == "pingpong" {
+			v, err := strconv.ParseUint(cr.Spec[vniapi.SpecVNI], 10, 32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return fabric.VNI(v)
+		}
+	}
+	log.Fatal("no VNI CRD instance for job")
+	return 0
+}

@@ -1,0 +1,116 @@
+// Vniclaim: demonstrates the VNI Claim ownership model (paper §III-C1,
+// Listings 2+3): a claim is created first, two jobs redeem it by name and
+// communicate with each other over the shared Virtual Network — something
+// the Per-Resource model forbids — and claim deletion is blocked until the
+// last user is gone.
+//
+//	go run ./examples/vniclaim
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/libfabric"
+	"github.com/caps-sim/shs-k8s/internal/stack"
+	"github.com/caps-sim/shs-k8s/internal/vniapi"
+	"github.com/caps-sim/shs-k8s/internal/vnisvc"
+)
+
+func main() {
+	st := stack.New(stack.DefaultOptions())
+	st.Cluster.CreateNamespace("vnitest")
+
+	// 1. Create the claim (Listing 2: VniClaim "vni-claim-test",
+	//    spec.name "test").
+	st.Cluster.API.Create(vnisvc.NewClaim("vnitest", "vni-claim-test", "test"), nil)
+	st.Eng.RunFor(3 * time.Second)
+
+	// 2. Two jobs redeem the claim via annotation vni:vni-claim-test
+	//    (Listing 3) —
+	//    e.g. a solver and a checkpointing service that must share a
+	//    Virtual Network.
+	for _, name := range []string{"solver", "checkpointer"} {
+		job := k8s.EchoJob("vnitest", name, map[string]string{vniapi.Annotation: "vni-claim-test"})
+		job.Spec.Template.RunDuration = time.Hour
+		job.Spec.DeleteAfterFinished = false
+		st.Cluster.SubmitJob(job, nil)
+	}
+	st.Eng.RunFor(10 * time.Second)
+
+	// 3. Both jobs hold the same VNI; the redeeming jobs' VNI CRD
+	//    instances are "virtual" (non-owning).
+	var shared fabric.VNI
+	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "vnitest") {
+		cr := obj.(*k8s.Custom)
+		v, _ := strconv.ParseUint(cr.Spec[vniapi.SpecVNI], 10, 32)
+		fmt.Printf("VNI CRD %-22s vni=%d job=%-14s virtual=%v\n",
+			cr.Meta.Name, v, cr.Spec[vniapi.SpecJob], cr.Spec[vniapi.SpecVirtual] == "true")
+		shared = fabric.VNI(v)
+	}
+
+	// 4. Cross-job RDMA: a process in the solver's pod talks to one in the
+	//    checkpointer's pod over the claim's VNI.
+	domSolver := podDomain(st, "solver", shared)
+	domCkpt := podDomain(st, "checkpointer", shared)
+	got := -1
+	domCkpt.OnRecv(func(_ libfabric.Addr, size int) { got = size })
+	st.Eng.After(0, func() {
+		if err := domSolver.Send(domCkpt.Addr(), 1<<20, nil); err != nil {
+			log.Fatal(err)
+		}
+	})
+	st.Eng.RunFor(time.Second)
+	fmt.Printf("\ncross-job transfer over claim VNI %d: checkpointer received %d bytes\n", shared, got)
+
+	// 5. Claim deletion stalls while users remain.
+	st.Cluster.API.Delete(vniapi.KindVniClaim, "vnitest", "vni-claim-test", nil)
+	st.Eng.RunFor(5 * time.Second)
+	_, stillThere := st.Cluster.API.Get(vniapi.KindVniClaim, "vnitest", "vni-claim-test")
+	fmt.Printf("claim deletion while 2 jobs use it: blocked=%v (stalled finalizations: %d)\n",
+		stillThere, st.VNISvc.Endpoint.Stats().StalledFinals)
+
+	// 6. Delete the jobs; the claim then finalizes and the VNI enters
+	//    quarantine.
+	for _, name := range []string{"solver", "checkpointer"} {
+		st.Cluster.API.Delete(k8s.KindJob, "vnitest", name, nil)
+	}
+	st.Eng.RunFor(30 * time.Second)
+	_, stillThere = st.Cluster.API.Get(vniapi.KindVniClaim, "vnitest", "vni-claim-test")
+	fmt.Printf("after job deletion: claim present=%v, db=%+v\n", stillThere, st.DB.Stats())
+
+	// 7. Show the user bookkeeping from the audit log.
+	fmt.Println("\naudit trail for the claim VNI:")
+	for _, e := range st.DB.Audit() {
+		if e.VNI == shared {
+			fmt.Printf("  %-12s t=%s user=%s\n", e.Op, e.At, e.User)
+		}
+	}
+}
+
+// podDomain opens an RDMA domain inside the first running pod of a job.
+func podDomain(st *stack.Stack, jobName string, vni fabric.VNI) *libfabric.Domain {
+	for _, obj := range st.Cluster.API.List(k8s.KindPod, "vnitest") {
+		pod := obj.(*k8s.Pod)
+		if pod.Meta.Labels["job-name"] != jobName || pod.Status.Phase != k8s.PodRunning {
+			continue
+		}
+		node, _ := st.NodeByName(pod.Spec.NodeName)
+		proc, err := node.Runtime.Exec("vnitest", pod.Meta.Name, jobName, 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err := libfabric.OpenDomain(st.Eng, libfabric.Info{
+			Device: node.Device, Caller: proc.PID, VNI: vni, TC: fabric.TCBulkData})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return d
+	}
+	log.Fatalf("no running pod for job %s", jobName)
+	return nil
+}

@@ -1,0 +1,182 @@
+// Package cni models the Container Network Interface machinery: plugin
+// configuration, the ADD/DEL/CHECK verbs, and chained plugin execution as
+// specified by the CNI spec and implemented by container runtimes.
+//
+// Two plugins are provided: a flannel-style overlay plugin (veth pair +
+// node-local bridge + cluster subnet IPAM) standing in for the cluster's
+// primary CNI, and the paper's CXI CNI plugin (see cxiplugin.go), which is
+// deployed *chained* after the primary plugin so it can decorate the
+// container's network namespace with Slingshot access without interfering
+// with regular pod networking (paper §III-B).
+package cni
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// Errors.
+var (
+	ErrPluginFailed = errors.New("cni: plugin failed")
+	ErrNoSandbox    = errors.New("cni: no sandbox for container")
+)
+
+// Command is a CNI verb.
+type Command string
+
+// CNI verbs.
+const (
+	CmdAdd   Command = "ADD"
+	CmdDel   Command = "DEL"
+	CmdCheck Command = "CHECK"
+)
+
+// Args is the runtime-provided invocation context (CNI_ARGS plus the pod
+// metadata Kubernetes runtimes pass through capability args).
+type Args struct {
+	ContainerID string
+	// NetNS is the container's network namespace inode — the CNI spec
+	// passes a netns path; the inode is what the path resolves to.
+	NetNS nsmodel.Inode
+	// PodNamespace and PodName identify the pod for plugins that query
+	// the management plane (as the CXI plugin does for annotations).
+	PodNamespace string
+	PodName      string
+}
+
+// Interface describes one network interface a plugin created.
+type Interface struct {
+	Name    string
+	Sandbox nsmodel.Inode // netns the interface lives in
+	IP      string
+}
+
+// CXIAttachment records what the CXI plugin configured, carried in the
+// chained Result for downstream plugins and the runtime.
+type CXIAttachment struct {
+	Device string
+	SvcID  int
+	VNI    uint32
+}
+
+// Result is the accumulating chained-plugin result.
+type Result struct {
+	Interfaces []Interface
+	CXI        *CXIAttachment
+}
+
+func (r *Result) clone() *Result {
+	if r == nil {
+		return &Result{}
+	}
+	out := &Result{Interfaces: append([]Interface(nil), r.Interfaces...)}
+	if r.CXI != nil {
+		c := *r.CXI
+		out.CXI = &c
+	}
+	return out
+}
+
+// Plugin is one CNI plugin. Execution is asynchronous in virtual time,
+// standing in for the runtime exec()ing the plugin binary.
+type Plugin interface {
+	Name() string
+	// Add attaches networking for the container, extending prev (the
+	// previous plugin's result, nil for the first in the chain).
+	Add(args Args, prev *Result, done func(*Result, error))
+	// Del removes the plugin's attachment. DEL must be idempotent and
+	// tolerant of partial state, per the CNI spec.
+	Del(args Args, done func(error))
+	// Check verifies the attachment is still in place.
+	Check(args Args, done func(error))
+}
+
+// Chain executes a plugin list according to chained-plugin semantics: ADD
+// runs plugins in order, each receiving the previous result; DEL runs in
+// reverse order and aggregates errors but always visits every plugin.
+type Chain struct {
+	eng     *sim.Engine
+	plugins []Plugin
+	// ExecOverhead is the per-plugin process execution cost (fork/exec of
+	// the plugin binary plus JSON marshalling).
+	ExecOverhead sim.Duration
+}
+
+// NewChain builds a chain over the given plugins.
+func NewChain(eng *sim.Engine, execOverhead sim.Duration, plugins ...Plugin) *Chain {
+	return &Chain{eng: eng, plugins: plugins, ExecOverhead: execOverhead}
+}
+
+// Plugins returns the chain's plugin list.
+func (c *Chain) Plugins() []Plugin { return c.plugins }
+
+// Add runs the ADD chain.
+func (c *Chain) Add(args Args, done func(*Result, error)) {
+	c.addFrom(0, args, &Result{}, done)
+}
+
+func (c *Chain) addFrom(i int, args Args, prev *Result, done func(*Result, error)) {
+	if i >= len(c.plugins) {
+		done(prev, nil)
+		return
+	}
+	p := c.plugins[i]
+	c.eng.After(c.eng.Jitter(c.ExecOverhead, 0.3), func() {
+		p.Add(args, prev.clone(), func(res *Result, err error) {
+			if err != nil {
+				// Per the spec the runtime must clean up with DEL on
+				// partial failure; the runtime layer does that.
+				done(nil, fmt.Errorf("%w: %s ADD: %v", ErrPluginFailed, p.Name(), err))
+				return
+			}
+			c.addFrom(i+1, args, res, done)
+		})
+	})
+}
+
+// Del runs the DEL chain in reverse order, visiting every plugin even after
+// errors, and returns the first error.
+func (c *Chain) Del(args Args, done func(error)) {
+	c.delFrom(len(c.plugins)-1, args, nil, done)
+}
+
+func (c *Chain) delFrom(i int, args Args, firstErr error, done func(error)) {
+	if i < 0 {
+		done(firstErr)
+		return
+	}
+	p := c.plugins[i]
+	c.eng.After(c.eng.Jitter(c.ExecOverhead, 0.3), func() {
+		p.Del(args, func(err error) {
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("%w: %s DEL: %v", ErrPluginFailed, p.Name(), err)
+			}
+			c.delFrom(i-1, args, firstErr, done)
+		})
+	})
+}
+
+// Check runs CHECK through the chain in order, stopping at the first error.
+func (c *Chain) Check(args Args, done func(error)) {
+	c.checkFrom(0, args, done)
+}
+
+func (c *Chain) checkFrom(i int, args Args, done func(error)) {
+	if i >= len(c.plugins) {
+		done(nil)
+		return
+	}
+	p := c.plugins[i]
+	c.eng.After(c.eng.Jitter(c.ExecOverhead, 0.3), func() {
+		p.Check(args, func(err error) {
+			if err != nil {
+				done(fmt.Errorf("%w: %s CHECK: %v", ErrPluginFailed, p.Name(), err))
+				return
+			}
+			c.checkFrom(i+1, args, done)
+		})
+	})
+}

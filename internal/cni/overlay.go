@@ -1,0 +1,84 @@
+package cni
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// OverlayPlugin is the cluster's primary CNI plugin: a flannel-style
+// bridge/veth overlay with a per-node /24 from the cluster CIDR. It models
+// the veth creation, bridge attachment and IPAM work with a latency, and
+// keeps real allocation state so DEL/CHECK have something to verify.
+type OverlayPlugin struct {
+	eng  *sim.Engine
+	node string
+	// Subnet is the node's pod subnet prefix, e.g. "10.42.0".
+	Subnet string
+	// SetupCost models veth/bridge/iptables configuration.
+	SetupCost sim.Duration
+
+	nextIP int
+	// attachments maps container ID to its interface.
+	attachments map[string]Interface
+}
+
+// NewOverlayPlugin creates the overlay plugin for one node.
+func NewOverlayPlugin(eng *sim.Engine, node, subnet string) *OverlayPlugin {
+	return &OverlayPlugin{
+		eng: eng, node: node, Subnet: subnet,
+		SetupCost:   35 * time.Millisecond,
+		nextIP:      1,
+		attachments: make(map[string]Interface),
+	}
+}
+
+// Name implements Plugin.
+func (o *OverlayPlugin) Name() string { return "overlay" }
+
+// Add creates the veth pair and assigns the pod IP.
+func (o *OverlayPlugin) Add(args Args, prev *Result, done func(*Result, error)) {
+	o.eng.After(o.eng.Jitter(o.SetupCost, 0.3), func() {
+		if args.NetNS == nsmodel.InvalidInode {
+			done(nil, fmt.Errorf("no netns for container %s", args.ContainerID))
+			return
+		}
+		if _, dup := o.attachments[args.ContainerID]; dup {
+			done(nil, fmt.Errorf("container %s already attached", args.ContainerID))
+			return
+		}
+		o.nextIP++
+		iface := Interface{
+			Name:    "eth0",
+			Sandbox: args.NetNS,
+			IP:      fmt.Sprintf("%s.%d/24", o.Subnet, o.nextIP),
+		}
+		o.attachments[args.ContainerID] = iface
+		prev.Interfaces = append(prev.Interfaces, iface)
+		done(prev, nil)
+	})
+}
+
+// Del removes the attachment. Idempotent per the CNI spec.
+func (o *OverlayPlugin) Del(args Args, done func(error)) {
+	o.eng.After(o.eng.Jitter(o.SetupCost/2, 0.3), func() {
+		delete(o.attachments, args.ContainerID)
+		done(nil)
+	})
+}
+
+// Check verifies the attachment exists.
+func (o *OverlayPlugin) Check(args Args, done func(error)) {
+	o.eng.After(o.eng.Jitter(o.SetupCost/4, 0.3), func() {
+		if _, ok := o.attachments[args.ContainerID]; !ok {
+			done(fmt.Errorf("container %s not attached", args.ContainerID))
+			return
+		}
+		done(nil)
+	})
+}
+
+// Attachments returns the number of live attachments (for tests).
+func (o *OverlayPlugin) Attachments() int { return len(o.attachments) }

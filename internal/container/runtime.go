@@ -1,0 +1,201 @@
+// Package container is the simulated container runtime (the containerd/CRI
+// layer): it creates the pod sandbox — a fresh network namespace plus an
+// optional user namespace — invokes the CNI plugin chain with elevated
+// permissions during container creation, and tears everything down on pod
+// deletion, exactly the lifecycle hooks the paper's CXI CNI plugin relies
+// on (§II-D, §III-B).
+package container
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/cni"
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// Config tunes the runtime.
+type Config struct {
+	// SandboxSetup is the cost of creating the sandbox (pause container,
+	// namespaces, cgroups).
+	SandboxSetup sim.Duration
+	// SandboxTeardown is the cost of destroying it.
+	SandboxTeardown sim.Duration
+	// Jitter fraction.
+	Jitter float64
+	// UserNamespaces runs each pod in its own user namespace with an
+	// identity-shifted mapping, as hardened multi-tenant clusters do.
+	UserNamespaces bool
+}
+
+// DefaultConfig returns calibrated costs.
+func DefaultConfig() Config {
+	return Config{
+		SandboxSetup:    180 * time.Millisecond,
+		SandboxTeardown: 90 * time.Millisecond,
+		Jitter:          0.35,
+		UserNamespaces:  true,
+	}
+}
+
+// Sandbox is one pod's runtime state.
+type Sandbox struct {
+	PodNamespace string
+	PodName      string
+	ContainerID  string
+	NetNS        nsmodel.Inode
+	UserNS       nsmodel.Inode
+	Result       *cni.Result
+	// procs are the container processes, killed at teardown.
+	procs []nsmodel.PID
+}
+
+// Runtime implements k8s.Runtime for one node.
+type Runtime struct {
+	eng   *sim.Engine
+	kern  *nsmodel.Kernel
+	chain *cni.Chain
+	cfg   Config
+	node  string
+
+	sandboxes map[string]*Sandbox // by pod key
+	nextCID   int
+	nextShift nsmodel.UID
+}
+
+// NewRuntime creates the runtime for node, wiring the CNI chain.
+func NewRuntime(eng *sim.Engine, kern *nsmodel.Kernel, chain *cni.Chain, cfg Config, node string) *Runtime {
+	return &Runtime{
+		eng: eng, kern: kern, chain: chain, cfg: cfg, node: node,
+		sandboxes: make(map[string]*Sandbox),
+		nextShift: 100000,
+	}
+}
+
+// Node returns the node this runtime serves.
+func (r *Runtime) Node() string { return r.node }
+
+// SandboxFor returns the live sandbox for a pod, if any. Workload drivers
+// use it to place application processes inside the pod's namespaces.
+func (r *Runtime) SandboxFor(podNamespace, podName string) (*Sandbox, bool) {
+	sb, ok := r.sandboxes[podNamespace+"/"+podName]
+	return sb, ok
+}
+
+// Sandboxes returns the number of live sandboxes.
+func (r *Runtime) Sandboxes() int { return len(r.sandboxes) }
+
+// SetupPod implements k8s.Runtime: create namespaces, then run the CNI ADD
+// chain. On chain failure the partial attachment is cleaned up with DEL and
+// the error is surfaced (failing the pod launch).
+func (r *Runtime) SetupPod(pod *k8s.Pod, done func(error)) {
+	key := pod.Meta.Key()
+	if _, exists := r.sandboxes[key]; exists {
+		done(fmt.Errorf("container: sandbox for %s already exists", key))
+		return
+	}
+	r.eng.After(r.eng.Jitter(r.cfg.SandboxSetup, r.cfg.Jitter), func() {
+		r.nextCID++
+		cid := fmt.Sprintf("%s-c%06d", r.node, r.nextCID)
+		sb := &Sandbox{
+			PodNamespace: pod.Meta.Namespace,
+			PodName:      pod.Meta.Name,
+			ContainerID:  cid,
+		}
+		if pod.Spec.HostNetwork {
+			sb.NetNS = r.kern.HostNetNS()
+		} else {
+			sb.NetNS = r.kern.NewNetNS(cid).Inode
+		}
+		if r.cfg.UserNamespaces && !pod.Spec.HostNetwork {
+			shift := r.nextShift
+			r.nextShift += 65536
+			uns := r.kern.NewUserNS(cid,
+				map[nsmodel.UID]nsmodel.UID{0: shift},
+				map[nsmodel.GID]nsmodel.GID{0: nsmodel.GID(shift)})
+			sb.UserNS = uns.Inode
+		} else {
+			sb.UserNS = r.kern.HostUserNS()
+		}
+		if pod.Spec.HostNetwork {
+			// Host-network pods skip CNI entirely.
+			r.sandboxes[key] = sb
+			done(nil)
+			return
+		}
+		args := cni.Args{
+			ContainerID:  cid,
+			NetNS:        sb.NetNS,
+			PodNamespace: pod.Meta.Namespace,
+			PodName:      pod.Meta.Name,
+		}
+		r.chain.Add(args, func(res *cni.Result, err error) {
+			if err != nil {
+				// CNI spec: clean up partial attachments with DEL.
+				r.chain.Del(args, func(error) {
+					r.destroyNamespaces(sb)
+					done(err)
+				})
+				return
+			}
+			sb.Result = res
+			r.sandboxes[key] = sb
+			done(nil)
+		})
+	})
+}
+
+// TeardownPod implements k8s.Runtime: kill container processes, run the CNI
+// DEL chain, destroy namespaces.
+func (r *Runtime) TeardownPod(pod *k8s.Pod, done func()) {
+	key := pod.Meta.Key()
+	sb, ok := r.sandboxes[key]
+	if !ok {
+		done()
+		return
+	}
+	delete(r.sandboxes, key)
+	for _, pid := range sb.procs {
+		_ = r.kern.Exit(pid)
+	}
+	r.eng.After(r.eng.Jitter(r.cfg.SandboxTeardown, r.cfg.Jitter), func() {
+		if pod.Spec.HostNetwork {
+			done()
+			return
+		}
+		args := cni.Args{
+			ContainerID:  sb.ContainerID,
+			NetNS:        sb.NetNS,
+			PodNamespace: pod.Meta.Namespace,
+			PodName:      pod.Meta.Name,
+		}
+		r.chain.Del(args, func(error) {
+			r.destroyNamespaces(sb)
+			done()
+		})
+	})
+}
+
+func (r *Runtime) destroyNamespaces(sb *Sandbox) {
+	if sb.NetNS != r.kern.HostNetNS() {
+		_ = r.kern.DeleteNetNS(sb.NetNS)
+	}
+}
+
+// Exec spawns a process inside the pod's namespaces (the application
+// container's entrypoint or an exec session). The returned process carries
+// the pod's netns, which is what CXI service authentication keys on.
+func (r *Runtime) Exec(podNamespace, podName, procName string, uid nsmodel.UID, gid nsmodel.GID) (*nsmodel.Process, error) {
+	sb, ok := r.sandboxes[podNamespace+"/"+podName]
+	if !ok {
+		return nil, fmt.Errorf("container: %w: %s/%s", cni.ErrNoSandbox, podNamespace, podName)
+	}
+	p, err := r.kern.Spawn(procName, uid, gid, sb.NetNS, sb.UserNS)
+	if err != nil {
+		return nil, err
+	}
+	sb.procs = append(sb.procs, p.PID)
+	return p, nil
+}

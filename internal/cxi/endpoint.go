@@ -1,0 +1,185 @@
+package cxi
+
+import (
+	"fmt"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// Message is a fully reassembled RDMA message delivered to an endpoint.
+type Message struct {
+	Src  fabric.Addr
+	Size int
+	VNI  fabric.VNI
+	TC   fabric.TrafficClass
+}
+
+// Endpoint is an allocated RDMA endpoint: a handle to NIC queues bound to
+// one service and one VNI. All communication after allocation is
+// kernel-bypass; no further authentication happens (paper §II-C:
+// "Authentication against CXI services is only performed during endpoint
+// creation").
+type Endpoint struct {
+	dev    *Device
+	svcID  SvcID
+	idx    int
+	vni    fabric.VNI
+	tc     fabric.TrafficClass
+	closed bool
+	// issueAt is the earliest time the next message may be issued,
+	// enforcing the per-endpoint message rate bound.
+	issueAt sim.Time
+	handler func(Message)
+}
+
+// EPAlloc allocates an endpoint through svc for the calling process. This is
+// the authenticated operation: the driver reads the caller's identity (UID/
+// GID via userns-aware credentials, netns inode via procfs) and matches it
+// against the service's member list, then validates the requested VNI,
+// traffic class and resource limits.
+func (d *Device) EPAlloc(caller nsmodel.PID, svcID SvcID, vni fabric.VNI, tc fabric.TrafficClass) (*Endpoint, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	svc, ok := d.svcs[svcID]
+	if !ok {
+		d.stats.AuthFailures[AuthNoService]++
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchService, svcID)
+	}
+	if fail := d.checkSvc(caller, svc, vni, tc); fail != AuthOK {
+		d.stats.AuthFailures[fail]++
+		switch fail {
+		case AuthDisabled:
+			return nil, fmt.Errorf("%w: svc %d", ErrServiceDisabled, svcID)
+		case AuthNotMember:
+			return nil, fmt.Errorf("%w: pid %d svc %d", ErrNotAuthorized, caller, svcID)
+		case AuthBadVNI:
+			return nil, fmt.Errorf("%w: vni %d svc %d", ErrVNINotInService, vni, svcID)
+		case AuthBadTC:
+			return nil, fmt.Errorf("%w: tc %v svc %d", ErrTCNotInService, tc, svcID)
+		case AuthLimits:
+			return nil, fmt.Errorf("%w: svc %d", ErrResourceLimit, svcID)
+		}
+	}
+	d.stats.AuthSuccesses++
+	svc.usedTXQs++
+	svc.usedEQs++
+	svc.refs++
+	ep := &Endpoint{dev: d, svcID: svcID, idx: d.nextEP, vni: vni, tc: tc}
+	d.nextEP++
+	d.eps[ep.idx] = ep
+	return ep, nil
+}
+
+// Idx returns the endpoint's local index (the address peers send to).
+func (ep *Endpoint) Idx() int { return ep.idx }
+
+// VNI returns the virtual network the endpoint is bound to.
+func (ep *Endpoint) VNI() fabric.VNI { return ep.vni }
+
+// NICAddr returns the fabric address of the owning NIC.
+func (ep *Endpoint) NICAddr() fabric.Addr { return ep.dev.Addr() }
+
+// OnMessage registers the receive handler. Messages arriving with no
+// handler registered are dropped (real NICs would back-pressure; the
+// workloads in this repository always register handlers first).
+func (ep *Endpoint) OnMessage(fn func(Message)) { ep.handler = fn }
+
+func (ep *Endpoint) deliver(m Message) {
+	if ep.closed || ep.handler == nil {
+		return
+	}
+	ep.handler(m)
+}
+
+// Send transmits size bytes to the endpoint dstIdx on NIC dst. onComplete,
+// if non-nil, fires when the NIC reports local completion (last bit has
+// left the host link). Send must be called from within the event loop.
+//
+// The data path performs no authentication or service lookup: the VNI and
+// traffic class were fixed at allocation. Isolation is enforced by the
+// switch, per packet.
+func (ep *Endpoint) Send(dst fabric.Addr, dstIdx int, size int, onComplete func()) error {
+	if ep.closed {
+		return ErrEndpointClosed
+	}
+	d := ep.dev
+	d.mu.Lock()
+	d.nextMsg++
+	msgID := d.nextMsg
+	d.stats.MsgsSent++
+	d.stats.BytesSent += uint64(size)
+	cfg := d.cfg
+	d.mu.Unlock()
+
+	now := d.eng.Now()
+	issue := now
+	if ep.issueAt > issue {
+		issue = ep.issueAt
+	}
+	issue = issue.Add(d.eng.Jitter(cfg.MsgIssueGap, 0.02))
+	ep.issueAt = issue
+
+	mtu := d.sw.Config().MTU
+	frames := (size + mtu - 1) / mtu
+	if frames == 0 {
+		frames = 1
+	}
+	start := issue.Add(d.eng.Jitter(cfg.SendOverhead, 0.02))
+
+	send := func() {
+		if cfg.CoalesceFrames || frames == 1 {
+			last := d.link.Send(&fabric.Packet{
+				Src: d.addr, Dst: dst, VNI: ep.vni, TC: ep.tc,
+				PayloadBytes: size, Frames: frames, DstIdx: dstIdx,
+				MsgID: msgID, Last: true,
+			})
+			if onComplete != nil {
+				d.eng.At(last, onComplete)
+			}
+			return
+		}
+		var last sim.Time
+		remaining := size
+		off := 0
+		for f := 0; f < frames; f++ {
+			chunk := mtu
+			if chunk > remaining {
+				chunk = remaining
+			}
+			if chunk == 0 {
+				chunk = 0 // zero-byte message: single empty frame handled above
+			}
+			last = d.link.Send(&fabric.Packet{
+				Src: d.addr, Dst: dst, VNI: ep.vni, TC: ep.tc,
+				PayloadBytes: chunk, Frames: 1, DstIdx: dstIdx,
+				MsgID: msgID, Offset: off, Last: f == frames-1,
+			})
+			off += chunk
+			remaining -= chunk
+		}
+		if onComplete != nil {
+			d.eng.At(last, onComplete)
+		}
+	}
+	d.eng.At(start, send)
+	return nil
+}
+
+// Close releases the endpoint and its service resources.
+func (ep *Endpoint) Close() {
+	if ep.closed {
+		return
+	}
+	d := ep.dev
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ep.closed = true
+	delete(d.eps, ep.idx)
+	if svc, ok := d.svcs[ep.svcID]; ok {
+		svc.usedTXQs--
+		svc.usedEQs--
+		svc.refs--
+	}
+}

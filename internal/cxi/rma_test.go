@@ -1,0 +1,173 @@
+package cxi
+
+import (
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// rmaRig builds two endpoints on the default service with an MR on B.
+func rmaRig(t *testing.T, access MRAccess) (*rig, *Endpoint, *Endpoint, *MemoryRegion) {
+	t.Helper()
+	r := newRig(t)
+	pa, _ := r.kern.Spawn("a", 0, 0, 0, 0)
+	pb, _ := r.kern.Spawn("b", 0, 0, 0, 0)
+	epA, err := r.devA.EPAlloc(pa.PID, DefaultSvcID, 1, fabric.TCDedicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epB, err := r.devB.EPAlloc(pb.PID, DefaultSvcID, 1, fabric.TCDedicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := epB.RegisterMR(1<<20, access)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, epA, epB, mr
+}
+
+func TestRMAWriteCompletes(t *testing.T) {
+	r, epA, epB, mr := rmaRig(t, MRRemoteRead|MRRemoteWrite)
+	completed := false
+	r.eng.After(0, func() {
+		if err := epA.Write(r.devB.Addr(), epB.Idx(), mr.Key, 0, 64*1024, func() { completed = true }); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run()
+	if !completed {
+		t.Fatal("write completion never fired")
+	}
+	if st := r.devB.Stats(); st.RMAOps != 1 || st.RMAFaults != 0 {
+		t.Errorf("target stats = %+v", st)
+	}
+}
+
+func TestRMAReadReturnsData(t *testing.T) {
+	r, epA, epB, mr := rmaRig(t, MRRemoteRead)
+	var doneAt sim.Time
+	r.eng.After(0, func() {
+		if err := epA.Read(r.devB.Addr(), epB.Idx(), mr.Key, 0, 1<<20, func() { doneAt = r.eng.Now() }); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run()
+	if doneAt == 0 {
+		t.Fatal("read never completed")
+	}
+	// A 1 MB read must take at least the wire time of 1 MB (~42 µs).
+	if doneAt < sim.Time(40*time.Microsecond) {
+		t.Errorf("1MB read completed in %v — data leg not modelled", doneAt)
+	}
+}
+
+func TestRMAWriteFaultOnBounds(t *testing.T) {
+	r, epA, epB, mr := rmaRig(t, MRRemoteWrite)
+	completed := false
+	r.eng.After(0, func() {
+		// Offset+length exceeds the 1 MB region.
+		if err := epA.Write(r.devB.Addr(), epB.Idx(), mr.Key, 1<<20-10, 64, func() { completed = true }); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run()
+	if completed {
+		t.Fatal("out-of-bounds write completed")
+	}
+	if r.devB.Stats().RMAFaults != 1 {
+		t.Errorf("faults = %d", r.devB.Stats().RMAFaults)
+	}
+}
+
+func TestRMAPermissionEnforced(t *testing.T) {
+	r, epA, epB, mr := rmaRig(t, MRRemoteRead) // no write permission
+	completed := false
+	r.eng.After(0, func() {
+		_ = epA.Write(r.devB.Addr(), epB.Idx(), mr.Key, 0, 64, func() { completed = true })
+	})
+	r.eng.Run()
+	if completed {
+		t.Fatal("write to read-only MR completed")
+	}
+	if r.devB.Stats().RMAFaults != 1 {
+		t.Errorf("faults = %d", r.devB.Stats().RMAFaults)
+	}
+}
+
+func TestRMAUnknownKeyFaults(t *testing.T) {
+	r, epA, epB, _ := rmaRig(t, MRRemoteWrite)
+	completed := false
+	r.eng.After(0, func() {
+		_ = epA.Write(r.devB.Addr(), epB.Idx(), MRKey(9999), 0, 64, func() { completed = true })
+	})
+	r.eng.Run()
+	if completed || r.devB.Stats().RMAFaults != 1 {
+		t.Errorf("completed=%v faults=%d", completed, r.devB.Stats().RMAFaults)
+	}
+}
+
+func TestRMADeregisteredMRFaults(t *testing.T) {
+	r, epA, epB, mr := rmaRig(t, MRRemoteWrite)
+	epB.DeregisterMR(mr)
+	completed := false
+	r.eng.After(0, func() {
+		_ = epA.Write(r.devB.Addr(), epB.Idx(), mr.Key, 0, 64, func() { completed = true })
+	})
+	r.eng.Run()
+	if completed {
+		t.Fatal("write to deregistered MR completed")
+	}
+}
+
+func TestRMACrossVNIBlocked(t *testing.T) {
+	// Endpoint on VNI 10 cannot reach an MR registered through an endpoint
+	// on VNI 20: the switch drops the op before the NIC even sees it.
+	r := newRig(t)
+	nsA := r.kern.NewNetNS("a")
+	nsB := r.kern.NewNetNS("b")
+	idA := r.svc(t, r.devA, SvcDesc{Name: "a", Restricted: true,
+		Members: []Member{NetNSMember(nsA.Inode)}, VNIs: []fabric.VNI{10}})
+	idB := r.svc(t, r.devB, SvcDesc{Name: "b", Restricted: true,
+		Members: []Member{NetNSMember(nsB.Inode)}, VNIs: []fabric.VNI{20}})
+	pa, _ := r.kern.Spawn("a", 0, 0, nsA.Inode, 0)
+	pb, _ := r.kern.Spawn("b", 0, 0, nsB.Inode, 0)
+	epA, _ := r.devA.EPAlloc(pa.PID, idA, 10, fabric.TCDedicated)
+	epB, _ := r.devB.EPAlloc(pb.PID, idB, 20, fabric.TCDedicated)
+	mr, _ := epB.RegisterMR(4096, MRRemoteWrite)
+	completed := false
+	r.eng.After(0, func() {
+		_ = epA.Write(r.devB.Addr(), epB.Idx(), mr.Key, 0, 64, func() { completed = true })
+	})
+	r.eng.Run()
+	if completed {
+		t.Fatal("cross-VNI RMA write completed")
+	}
+	if r.devB.Stats().RMAOps != 0 {
+		t.Error("RMA op reached the target NIC across VNIs")
+	}
+}
+
+func TestRegisterMROnClosedEndpoint(t *testing.T) {
+	r := newRig(t)
+	p, _ := r.kern.Spawn("a", 0, 0, 0, 0)
+	ep, _ := r.devA.EPAlloc(p.PID, DefaultSvcID, 1, fabric.TCDedicated)
+	ep.Close()
+	if _, err := ep.RegisterMR(64, MRRemoteRead); err == nil {
+		t.Error("RegisterMR on closed endpoint succeeded")
+	}
+	if err := ep.Write(r.devB.Addr(), 1, 1, 0, 1, nil); err == nil {
+		t.Error("Write on closed endpoint succeeded")
+	}
+	if err := ep.Read(r.devB.Addr(), 1, 1, 0, 1, nil); err == nil {
+		t.Error("Read on closed endpoint succeeded")
+	}
+}
+
+func TestMRKeyString(t *testing.T) {
+	if MRKey(7).String() != "rkey-7" {
+		t.Errorf("String = %q", MRKey(7).String())
+	}
+}

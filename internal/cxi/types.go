@@ -1,0 +1,155 @@
+// Package cxi models the Cassini (CXI) NIC and its kernel driver, including
+// the access-control machinery this reproduction extends: CXI services with
+// UID, GID and — the paper's contribution — network-namespace (netns)
+// members (paper §III-A).
+//
+// A CXI service (SVC) grants a set of authorized members access to a set of
+// VNIs and caps the NIC resources (transmit queues, event queues, counters)
+// its members may consume. Authentication happens once, at RDMA endpoint
+// allocation: the driver inspects the calling process (via the simulated
+// procfs) and matches its identity against the service's member list.
+// Subsequent communication is kernel-bypass and carries no authentication,
+// exactly as on real hardware — which is why the paper measures no
+// systematic data-path overhead.
+package cxi
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+)
+
+// SvcID identifies a CXI service on one NIC.
+type SvcID int
+
+// DefaultSvcID is the driver's built-in default service. On real systems it
+// is unrestricted and intended for single-tenant hosts; multi-tenant
+// deployments disable or restrict it.
+const DefaultSvcID SvcID = 1
+
+// MemberType selects how a service member is authenticated.
+type MemberType int
+
+// Member types. MemberNetNS is the extension introduced by the paper.
+const (
+	MemberUID MemberType = iota
+	MemberGID
+	MemberNetNS
+)
+
+// String names the member type using the driver's vocabulary.
+func (t MemberType) String() string {
+	switch t {
+	case MemberUID:
+		return "uid"
+	case MemberGID:
+		return "gid"
+	case MemberNetNS:
+		return "netns"
+	default:
+		return fmt.Sprintf("member(%d)", int(t))
+	}
+}
+
+// Member is one authorized identity on a service.
+type Member struct {
+	Type MemberType
+	// Value is a UID, GID, or netns inode depending on Type.
+	Value uint64
+}
+
+// UIDMember, GIDMember and NetNSMember build members of each type.
+func UIDMember(uid nsmodel.UID) Member     { return Member{Type: MemberUID, Value: uint64(uid)} }
+func GIDMember(gid nsmodel.GID) Member     { return Member{Type: MemberGID, Value: uint64(gid)} }
+func NetNSMember(ino nsmodel.Inode) Member { return Member{Type: MemberNetNS, Value: uint64(ino)} }
+
+// ResourceLimits caps the NIC resources a service's members may consume.
+// Zero values mean "driver default".
+type ResourceLimits struct {
+	MaxTXQs int // transmit command queues
+	MaxEQs  int // event queues
+	MaxCTs  int // counting events / triggered-op counters
+}
+
+// DefaultLimits are applied when a descriptor leaves limits at zero.
+func DefaultLimits() ResourceLimits {
+	return ResourceLimits{MaxTXQs: 64, MaxEQs: 64, MaxCTs: 64}
+}
+
+// SvcDesc describes a service to be allocated.
+type SvcDesc struct {
+	Name string
+	// Restricted services authenticate members; unrestricted ones admit
+	// any caller (the insecure single-tenant default).
+	Restricted bool
+	Members    []Member
+	VNIs       []fabric.VNI
+	Limits     ResourceLimits
+	// TCs lists permitted traffic classes; empty means all.
+	TCs []fabric.TrafficClass
+}
+
+// Svc is an allocated service.
+type Svc struct {
+	ID      SvcID
+	Desc    SvcDesc
+	Enabled bool
+	// usage tracks live resource consumption by endpoints of this service.
+	usedTXQs int
+	usedEQs  int
+	usedCTs  int
+	// refs counts live endpoints, so destroy can refuse while busy.
+	refs int
+}
+
+// Errors returned by the driver.
+var (
+	ErrNoSuchService   = errors.New("cxi: no such service")
+	ErrNotAuthorized   = errors.New("cxi: not authorized for service")
+	ErrVNINotInService = errors.New("cxi: vni not granted to service")
+	ErrTCNotInService  = errors.New("cxi: traffic class not permitted by service")
+	ErrResourceLimit   = errors.New("cxi: service resource limit exceeded")
+	ErrServiceDisabled = errors.New("cxi: service disabled")
+	ErrServiceBusy     = errors.New("cxi: service has live endpoints")
+	ErrPrivilege       = errors.New("cxi: operation requires host root")
+	ErrEndpointClosed  = errors.New("cxi: endpoint closed")
+	ErrDuplicateSvc    = errors.New("cxi: duplicate service name")
+)
+
+// AuthFailure classifies authentication failures for driver counters.
+type AuthFailure int
+
+// Authentication failure reasons.
+const (
+	AuthOK AuthFailure = iota
+	AuthNoService
+	AuthNotMember
+	AuthBadVNI
+	AuthBadTC
+	AuthLimits
+	AuthDisabled
+)
+
+// String names the failure reason.
+func (a AuthFailure) String() string {
+	switch a {
+	case AuthOK:
+		return "ok"
+	case AuthNoService:
+		return "no_service"
+	case AuthNotMember:
+		return "not_member"
+	case AuthBadVNI:
+		return "bad_vni"
+	case AuthBadTC:
+		return "bad_tc"
+	case AuthLimits:
+		return "limits"
+	case AuthDisabled:
+		return "disabled"
+	default:
+		return fmt.Sprintf("auth(%d)", int(a))
+	}
+}

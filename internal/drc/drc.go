@@ -1,0 +1,181 @@
+// Package drc models HPE's Dynamic RDMA Credential mechanism, the
+// alternative VNI-management path the paper contrasts with its VNI Service
+// (§II-C): "the HPE-provided Dynamic RDMA Credential (DRC) mechanism can be
+// used, which allows users to request new VNIs at run time. In both cases,
+// VNIs must be assigned mutually exclusively to users."
+//
+// A credential binds a VNI to an owner and an explicit member list and can
+// be *redeemed* on any node, where redemption creates the corresponding CXI
+// service on that node's NIC. Credentials are reference-counted across
+// nodes and their VNI returns to the shared pool (with quarantine) when the
+// credential is released everywhere.
+//
+// The package shares the VNI database with the Kubernetes VNI Service, so
+// a site can run both paths concurrently without double-assigning VNIs —
+// the exclusivity requirement above.
+package drc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+)
+
+// Errors.
+var (
+	ErrNoSuchCredential = errors.New("drc: no such credential")
+	ErrNotOwner         = errors.New("drc: caller does not own credential")
+	ErrStillRedeemed    = errors.New("drc: credential still redeemed on nodes")
+	ErrAlreadyRedeemed  = errors.New("drc: credential already redeemed on node")
+)
+
+// CredentialID names a credential.
+type CredentialID uint64
+
+// Credential is one dynamic RDMA credential.
+type Credential struct {
+	ID      CredentialID
+	VNI     fabric.VNI
+	Owner   nsmodel.UID
+	Members []cxi.Member
+	// redeemed maps device name -> created service, so release can clean
+	// up per node.
+	redeemed map[string]cxi.SvcID
+}
+
+// Service is the DRC daemon: it owns credential state and talks to the
+// shared VNI database. It runs with host privileges (root PID), since CXI
+// service creation is privileged.
+type Service struct {
+	mu    sync.Mutex
+	db    *vnidb.DB
+	clock sim.Clock
+	root  nsmodel.PID
+	creds map[CredentialID]*Credential
+	next  CredentialID
+}
+
+// NewService creates a DRC service over the shared VNI database.
+func NewService(db *vnidb.DB, clock sim.Clock, root nsmodel.PID) *Service {
+	return &Service{db: db, clock: clock, root: root, creds: make(map[CredentialID]*Credential), next: 1}
+}
+
+// Acquire requests a new credential for owner: a fresh VNI from the shared
+// pool plus the member list that redemption will install. Members default
+// to a single UID member for the owner, matching DRC's user-granular model.
+func (s *Service) Acquire(owner nsmodel.UID, members ...cxi.Member) (*Credential, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(members) == 0 {
+		members = []cxi.Member{cxi.UIDMember(owner)}
+	}
+	var vni fabric.VNI
+	err := s.db.Update(func(tx *vnidb.Tx) error {
+		v, err := tx.Acquire(fmt.Sprintf("drc/uid-%d/cred-%d", owner, s.next), s.clock.Now())
+		if err != nil {
+			return err
+		}
+		vni = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cred := &Credential{
+		ID: s.next, VNI: vni, Owner: owner,
+		Members:  append([]cxi.Member(nil), members...),
+		redeemed: make(map[string]cxi.SvcID),
+	}
+	s.creds[s.next] = cred
+	s.next++
+	return cred, nil
+}
+
+// Redeem installs the credential on a node: it creates the CXI service
+// granting the credential's members access to its VNI on dev.
+func (s *Service) Redeem(id CredentialID, caller nsmodel.UID, dev *cxi.Device) (cxi.SvcID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cred, ok := s.creds[id]
+	if !ok {
+		return 0, fmt.Errorf("%w: %d", ErrNoSuchCredential, id)
+	}
+	if cred.Owner != caller {
+		return 0, fmt.Errorf("%w: cred %d owned by uid %d", ErrNotOwner, id, cred.Owner)
+	}
+	if _, dup := cred.redeemed[dev.Name]; dup {
+		return 0, fmt.Errorf("%w: cred %d on %s", ErrAlreadyRedeemed, id, dev.Name)
+	}
+	svcID, err := dev.SvcAlloc(s.root, cxi.SvcDesc{
+		Name:       fmt.Sprintf("drc-%d", id),
+		Restricted: true,
+		Members:    cred.Members,
+		VNIs:       []fabric.VNI{cred.VNI},
+	})
+	if err != nil {
+		return 0, err
+	}
+	cred.redeemed[dev.Name] = svcID
+	return svcID, nil
+}
+
+// Withdraw removes the credential's service from one node.
+func (s *Service) Withdraw(id CredentialID, caller nsmodel.UID, dev *cxi.Device) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cred, ok := s.creds[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchCredential, id)
+	}
+	if cred.Owner != caller {
+		return fmt.Errorf("%w: cred %d", ErrNotOwner, id)
+	}
+	svcID, redeemed := cred.redeemed[dev.Name]
+	if !redeemed {
+		return nil // idempotent
+	}
+	if err := dev.SvcDestroy(s.root, svcID); err != nil {
+		return err
+	}
+	delete(cred.redeemed, dev.Name)
+	return nil
+}
+
+// Release returns the credential's VNI to the pool. It fails while the
+// credential is still redeemed on any node — mirroring the VNI Service's
+// rule that active VNIs are never handed out.
+func (s *Service) Release(id CredentialID, caller nsmodel.UID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cred, ok := s.creds[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoSuchCredential, id)
+	}
+	if cred.Owner != caller {
+		return fmt.Errorf("%w: cred %d", ErrNotOwner, id)
+	}
+	if len(cred.redeemed) > 0 {
+		return fmt.Errorf("%w: cred %d on %d node(s)", ErrStillRedeemed, id, len(cred.redeemed))
+	}
+	err := s.db.Update(func(tx *vnidb.Tx) error {
+		return tx.Release(cred.VNI, s.clock.Now())
+	})
+	if err != nil {
+		return err
+	}
+	delete(s.creds, id)
+	return nil
+}
+
+// Credentials returns the number of live credentials.
+func (s *Service) Credentials() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.creds)
+}

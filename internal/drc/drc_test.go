@@ -1,0 +1,192 @@
+package drc
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+)
+
+type env struct {
+	eng  *sim.Engine
+	kern *nsmodel.Kernel
+	sw   *fabric.Switch
+	devA *cxi.Device
+	devB *cxi.Device
+	db   *vnidb.DB
+	svc  *Service
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	kern := nsmodel.NewKernel()
+	fcfg := fabric.DefaultConfig()
+	fcfg.JitterFrac, fcfg.RunSigma = 0, 0
+	sw := fabric.NewSwitch("s", eng, fcfg)
+	devA := cxi.NewDevice("cxi0", eng, kern, sw, cxi.DefaultDeviceConfig())
+	devB := cxi.NewDevice("cxi1", eng, kern, sw, cxi.DefaultDeviceConfig())
+	root, err := kern.Spawn("drcd", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := vnidb.Open(vnidb.Options{MinVNI: 500, MaxVNI: 509, Quarantine: sim.Duration(5 * time.Second)})
+	return &env{eng: eng, kern: kern, sw: sw, devA: devA, devB: devB, db: db,
+		svc: NewService(db, eng, root.PID)}
+}
+
+func TestAcquireRedeemUseRelease(t *testing.T) {
+	e := newEnv(t)
+	user := nsmodel.UID(1000)
+	cred, err := e.svc.Acquire(user)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cred.VNI < 500 || cred.VNI > 509 {
+		t.Fatalf("vni %d outside pool", cred.VNI)
+	}
+	// Redeem on both nodes.
+	svcA, err := e.svc.Redeem(cred.ID, user, e.devA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.svc.Redeem(cred.ID, user, e.devB); err != nil {
+		t.Fatal(err)
+	}
+	// The owner can now allocate endpoints on the credential's VNI.
+	proc, _ := e.kern.Spawn("app", user, 1000, 0, 0)
+	ep, err := e.devA.EPAlloc(proc.PID, svcA, cred.VNI, fabric.TCDedicated)
+	if err != nil {
+		t.Fatalf("owner EPAlloc: %v", err)
+	}
+	ep.Close()
+	// Another user cannot.
+	other, _ := e.kern.Spawn("other", 2000, 2000, 0, 0)
+	if _, err := e.devA.EPAlloc(other.PID, svcA, cred.VNI, fabric.TCDedicated); !errors.Is(err, cxi.ErrNotAuthorized) {
+		t.Errorf("other user EPAlloc: %v", err)
+	}
+	// Release refused while redeemed.
+	if err := e.svc.Release(cred.ID, user); !errors.Is(err, ErrStillRedeemed) {
+		t.Errorf("release while redeemed: %v", err)
+	}
+	if err := e.svc.Withdraw(cred.ID, user, e.devA); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.svc.Withdraw(cred.ID, user, e.devB); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.svc.Release(cred.ID, user); err != nil {
+		t.Fatal(err)
+	}
+	if e.svc.Credentials() != 0 {
+		t.Error("credential table not empty")
+	}
+	if st := e.db.Stats(); st.Allocated != 0 || st.Quarantined != 1 {
+		t.Errorf("db stats = %+v", st)
+	}
+}
+
+func TestRedeemRequiresOwnership(t *testing.T) {
+	e := newEnv(t)
+	cred, err := e.svc.Acquire(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.svc.Redeem(cred.ID, 2000, e.devA); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("foreign redeem: %v", err)
+	}
+	if err := e.svc.Release(cred.ID, 2000); !errors.Is(err, ErrNotOwner) {
+		t.Errorf("foreign release: %v", err)
+	}
+}
+
+func TestDoubleRedeemSameNodeRejected(t *testing.T) {
+	e := newEnv(t)
+	cred, _ := e.svc.Acquire(1000)
+	if _, err := e.svc.Redeem(cred.ID, 1000, e.devA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.svc.Redeem(cred.ID, 1000, e.devA); !errors.Is(err, ErrAlreadyRedeemed) {
+		t.Errorf("double redeem: %v", err)
+	}
+}
+
+func TestWithdrawIdempotent(t *testing.T) {
+	e := newEnv(t)
+	cred, _ := e.svc.Acquire(1000)
+	if err := e.svc.Withdraw(cred.ID, 1000, e.devA); err != nil {
+		t.Errorf("withdraw before redeem: %v", err)
+	}
+}
+
+func TestUnknownCredential(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.svc.Redeem(999, 1000, e.devA); !errors.Is(err, ErrNoSuchCredential) {
+		t.Errorf("redeem unknown: %v", err)
+	}
+	if err := e.svc.Release(999, 1000); !errors.Is(err, ErrNoSuchCredential) {
+		t.Errorf("release unknown: %v", err)
+	}
+	if err := e.svc.Withdraw(999, 1000, e.devA); !errors.Is(err, ErrNoSuchCredential) {
+		t.Errorf("withdraw unknown: %v", err)
+	}
+}
+
+func TestCustomMembersNetNS(t *testing.T) {
+	// DRC credentials can carry netns members too, composing with the
+	// paper's container extension.
+	e := newEnv(t)
+	ns := e.kern.NewNetNS("pod")
+	cred, err := e.svc.Acquire(1000, cxi.NetNSMember(ns.Inode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcID, err := e.svc.Redeem(cred.ID, 1000, e.devA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inPod, _ := e.kern.Spawn("app", 0, 0, ns.Inode, 0)
+	ep, err := e.devA.EPAlloc(inPod.PID, svcID, cred.VNI, fabric.TCDedicated)
+	if err != nil {
+		t.Fatalf("netns-member DRC EPAlloc: %v", err)
+	}
+	ep.Close()
+}
+
+// TestSharedPoolWithVNIService verifies mutual exclusion across management
+// paths: VNIs acquired via DRC never collide with those the Kubernetes VNI
+// Service allocates from the same database.
+func TestSharedPoolWithVNIService(t *testing.T) {
+	e := newEnv(t)
+	seen := map[fabric.VNI]bool{}
+	// Simulate the VNI Service allocating directly.
+	for i := 0; i < 5; i++ {
+		e.db.Update(func(tx *vnidb.Tx) error {
+			v, err := tx.Acquire("job/ns/x", e.eng.Now())
+			if err != nil {
+				return err
+			}
+			seen[v] = true
+			return nil
+		})
+	}
+	for i := 0; i < 5; i++ {
+		cred, err := e.svc.Acquire(nsmodel.UID(1000 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[cred.VNI] {
+			t.Fatalf("DRC vni %d collides with VNI-service allocation", cred.VNI)
+		}
+		seen[cred.VNI] = true
+	}
+	// Pool of 10 is now exhausted.
+	if _, err := e.svc.Acquire(9999); !errors.Is(err, vnidb.ErrExhausted) {
+		t.Errorf("over-acquire: %v", err)
+	}
+}

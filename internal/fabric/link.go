@@ -1,0 +1,43 @@
+package fabric
+
+import (
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// HostLink models the cable between a NIC and its switch port in the
+// NIC-to-switch direction. The switch handles the reverse direction with
+// its per-port egress serializer. A NIC owns exactly one HostLink.
+type HostLink struct {
+	eng    *sim.Engine
+	sw     *Switch
+	busyAt sim.Time
+}
+
+// NewHostLink creates the uplink for a NIC attached to sw.
+func NewHostLink(eng *sim.Engine, sw *Switch) *HostLink {
+	return &HostLink{eng: eng, sw: sw}
+}
+
+// Send serializes the packet onto the host link and schedules its injection
+// into the switch. It returns the virtual time at which the last bit leaves
+// the NIC (i.e., when the NIC's DMA engine is free to start the next frame).
+// Must be called from within the event loop.
+func (l *HostLink) Send(p *Packet) sim.Time {
+	cfg := l.sw.Config()
+	now := l.eng.Now()
+	start := now
+	if l.busyAt > start {
+		start = l.busyAt
+	}
+	tx := l.eng.Jitter(l.sw.wireTime(p.WireBytes(cfg.FrameHeaderBytes)), cfg.JitterFrac)
+	end := start.Add(tx)
+	l.busyAt = end
+
+	arrive := end.Add(cfg.PropagationDelay)
+	pkt := *p
+	l.eng.At(arrive, func() { l.sw.Inject(&pkt) })
+	return end
+}
+
+// BusyUntil returns the time the link becomes idle.
+func (l *HostLink) BusyUntil() sim.Time { return l.busyAt }

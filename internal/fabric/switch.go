@@ -1,0 +1,312 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// Config sets the physical parameters of the fabric. The defaults follow
+// published Slingshot characteristics: 200 Gbps per port, ~350 ns switch
+// traversal, short copper propagation delay and an HPC-Ethernet style frame
+// format.
+type Config struct {
+	// LinkBandwidthBits is the per-port line rate in bits per second.
+	LinkBandwidthBits float64
+	// PropagationDelay is the one-way cable delay per hop.
+	PropagationDelay time.Duration
+	// SwitchLatency is the Rosetta forwarding latency per packet.
+	SwitchLatency time.Duration
+	// MTU is the maximum frame payload in bytes.
+	MTU int
+	// FrameHeaderBytes is the per-frame header/CRC overhead on the wire.
+	FrameHeaderBytes int
+	// JitterFrac adds uniform ±frac per-packet noise to every timed stage.
+	JitterFrac float64
+	// RunSigma is the standard deviation of a *systemic* per-run speed
+	// factor sampled once at switch creation: it models the run-to-run
+	// drift (clock, thermal, placement state) behind the "inherent
+	// experimental variability" the paper reports, which per-packet
+	// jitter alone would average away over 10k-iteration benchmarks.
+	RunSigma float64
+}
+
+// DefaultConfig returns the Slingshot-calibrated parameters.
+func DefaultConfig() Config {
+	return Config{
+		LinkBandwidthBits: 200e9,
+		PropagationDelay:  30 * time.Nanosecond,
+		SwitchLatency:     350 * time.Nanosecond,
+		MTU:               2048,
+		FrameHeaderBytes:  64,
+		JitterFrac:        0.006,
+		RunSigma:          0.004,
+	}
+}
+
+// SwitchStats counts forwarding outcomes; all counters are cumulative.
+type SwitchStats struct {
+	Forwarded      uint64
+	ForwardedBytes uint64
+	// TrunkForwarded counts packets handed to another switch in a mesh.
+	TrunkForwarded uint64
+	Drops          map[DropReason]uint64
+}
+
+// port is one switch port with an attached device and an egress serializer.
+type port struct {
+	addr     Addr
+	recv     Receiver
+	vnis     map[VNI]bool
+	egressAt sim.Time // link busy-until for egress serialization
+	// perTC accounting of egress bytes, for observability.
+	egressBytes [numTrafficClasses]uint64
+}
+
+// Switch is a single Rosetta-style switch. For the two-node OpenCUBE pilot
+// deployment the paper evaluates on, one switch is the whole fabric; larger
+// topologies can chain switches via the Uplink mechanism if needed.
+type Switch struct {
+	mu    sync.Mutex
+	eng   *sim.Engine
+	cfg   Config
+	ports map[Addr]*port
+	stats SwitchStats
+	name  string
+	// addrAlloc issues fabric addresses; meshed switches share one so
+	// addresses stay globally unique.
+	addrAlloc *addrAllocator
+
+	// remoteRoute, when set (by a Mesh), is consulted for destinations
+	// that are not local ports before dropping with no_route. The ingress
+	// ACL has already passed when it is called.
+	remoteRoute func(p *Packet) bool
+
+	// dropHook, when set, observes every dropped packet (used by tests and
+	// by the isolation examples to demonstrate enforcement).
+	dropHook func(p *Packet, r DropReason)
+}
+
+// addrAllocator issues globally unique fabric addresses.
+type addrAllocator struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+func (a *addrAllocator) alloc() Addr {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.next++
+	return Addr(a.next)
+}
+
+// NewSwitch creates a switch driven by eng.
+func NewSwitch(name string, eng *sim.Engine, cfg Config) *Switch {
+	if cfg.MTU <= 0 {
+		panic("fabric: config MTU must be positive")
+	}
+	if cfg.RunSigma > 0 {
+		// Systemic per-run drift: one multiplicative factor for this
+		// instantiation of the fabric, clamped to ±3σ.
+		f := eng.Rand().NormFloat64() * cfg.RunSigma
+		if f > 3*cfg.RunSigma {
+			f = 3 * cfg.RunSigma
+		}
+		if f < -3*cfg.RunSigma {
+			f = -3 * cfg.RunSigma
+		}
+		cfg.LinkBandwidthBits *= 1 + f
+		cfg.SwitchLatency = time.Duration(float64(cfg.SwitchLatency) * (1 - f))
+	}
+	return &Switch{
+		eng:       eng,
+		cfg:       cfg,
+		ports:     make(map[Addr]*port),
+		stats:     SwitchStats{Drops: make(map[DropReason]uint64)},
+		name:      name,
+		addrAlloc: &addrAllocator{},
+	}
+}
+
+// Config returns the switch's physical configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Attach connects a receiver to the switch and assigns it a fabric address.
+func (s *Switch) Attach(r Receiver) Addr {
+	addr := s.addrAlloc.alloc()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ports[addr] = &port{addr: addr, recv: r, vnis: make(map[VNI]bool)}
+	return addr
+}
+
+// Detach removes a port. Packets in flight to it are dropped silently.
+func (s *Switch) Detach(addr Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.ports, addr)
+}
+
+// GrantVNI authorizes a port for a VNI. On a real system the fabric manager
+// programs this into Rosetta; here the CXI driver model calls it when a CXI
+// service activates a VNI on a NIC.
+func (s *Switch) GrantVNI(addr Addr, vni VNI) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ports[addr]
+	if !ok {
+		return fmt.Errorf("fabric: grant vni %d: no port %d", vni, addr)
+	}
+	p.vnis[vni] = true
+	return nil
+}
+
+// RevokeVNI removes a port's authorization for a VNI.
+func (s *Switch) RevokeVNI(addr Addr, vni VNI) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ports[addr]
+	if !ok {
+		return fmt.Errorf("fabric: revoke vni %d: no port %d", vni, addr)
+	}
+	delete(p.vnis, vni)
+	return nil
+}
+
+// HasVNI reports whether the port is authorized for vni.
+func (s *Switch) HasVNI(addr Addr, vni VNI) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ports[addr]
+	return ok && p.vnis[vni]
+}
+
+// Stats returns a copy of the forwarding counters.
+func (s *Switch) Stats() SwitchStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SwitchStats{
+		Forwarded:      s.stats.Forwarded,
+		ForwardedBytes: s.stats.ForwardedBytes,
+		TrunkForwarded: s.stats.TrunkForwarded,
+		Drops:          make(map[DropReason]uint64, len(s.stats.Drops)),
+	}
+	for k, v := range s.stats.Drops {
+		out.Drops[k] = v
+	}
+	return out
+}
+
+// OnDrop registers an observer for dropped packets.
+func (s *Switch) OnDrop(fn func(p *Packet, r DropReason)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dropHook = fn
+}
+
+// wireTime returns the serialization time of n bytes at line rate.
+func (s *Switch) wireTime(bytes int) time.Duration {
+	return time.Duration(float64(bytes*8) / s.cfg.LinkBandwidthBits * float64(time.Second))
+}
+
+func (s *Switch) drop(p *Packet, r DropReason) {
+	s.stats.Drops[r]++
+	if s.dropHook != nil {
+		hook := s.dropHook
+		pkt := *p
+		// Run the hook outside the lock via the event loop to avoid
+		// re-entrancy surprises.
+		s.eng.After(0, func() { hook(&pkt, r) })
+	}
+}
+
+// InjectFromTrunk delivers a packet arriving over an inter-switch trunk:
+// the ingress ACL was enforced at the source edge, so only the egress ACL
+// and local delivery apply here.
+func (s *Switch) InjectFromTrunk(p *Packet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out, ok := s.ports[p.Dst]
+	if !ok {
+		s.drop(p, DropNoRoute)
+		return
+	}
+	if !out.vnis[p.VNI] {
+		s.drop(p, DropVNIEgress)
+		return
+	}
+	s.deliverLocked(p, out)
+}
+
+// Inject is called by a NIC when a packet has finished serializing onto its
+// host link. The switch performs VNI admission, routes, serializes onto the
+// egress link, and delivers to the destination port. Inject must be called
+// from within the simulation event loop.
+func (s *Switch) Inject(p *Packet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if !p.TC.Valid() {
+		s.drop(p, DropInvalidTC)
+		return
+	}
+	in, ok := s.ports[p.Src]
+	if !ok || !in.vnis[p.VNI] {
+		s.drop(p, DropVNIIngress)
+		return
+	}
+	out, ok := s.ports[p.Dst]
+	if !ok {
+		// Not local: a meshed switch forwards over the trunk toward the
+		// owning edge switch (ingress ACL already passed; the egress ACL
+		// is enforced there). remoteRoute only touches mesh and engine
+		// state, never this switch's lock.
+		if s.remoteRoute != nil && s.remoteRoute(p) {
+			s.stats.TrunkForwarded++
+			return
+		}
+		s.drop(p, DropNoRoute)
+		return
+	}
+	if !out.vnis[p.VNI] {
+		s.drop(p, DropVNIEgress)
+		return
+	}
+	s.deliverLocked(p, out)
+}
+
+// deliverLocked serializes the packet onto the egress link and schedules
+// delivery. Caller holds s.mu.
+func (s *Switch) deliverLocked(p *Packet, out *port) {
+	s.stats.Forwarded++
+	s.stats.ForwardedBytes += uint64(p.PayloadBytes)
+	out.egressBytes[p.TC] += uint64(p.PayloadBytes)
+
+	now := s.eng.Now()
+	// Egress serialization: the packet occupies the egress link after any
+	// already-queued traffic. Higher-priority classes are modelled with a
+	// small scheduling advantage: they do not wait behind lower-priority
+	// residual occupancy beyond one MTU slot.
+	start := now.Add(s.eng.Jitter(s.cfg.SwitchLatency, s.cfg.JitterFrac))
+	if out.egressAt > start {
+		wait := out.egressAt.Sub(start)
+		if p.TC == TCLowLatency {
+			// Cut-in: a low-latency frame waits at most one MTU slot.
+			maxWait := s.wireTime(s.cfg.MTU + s.cfg.FrameHeaderBytes)
+			if wait > maxWait {
+				wait = maxWait
+			}
+		}
+		start = start.Add(wait)
+	}
+	tx := s.eng.Jitter(s.wireTime(p.WireBytes(s.cfg.FrameHeaderBytes)), s.cfg.JitterFrac)
+	end := start.Add(tx)
+	out.egressAt = end
+
+	arrive := end.Add(s.cfg.PropagationDelay)
+	dst := out.recv
+	pkt := *p
+	s.eng.At(arrive, func() { dst.ReceivePacket(&pkt) })
+}

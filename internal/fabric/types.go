@@ -1,0 +1,136 @@
+// Package fabric simulates an HPE Slingshot fabric: Cassini-style NIC ports
+// connected to a Rosetta-style switch over 200 Gbps links, with strict
+// per-packet Virtual Network (VNI) enforcement at the switch and
+// priority-scheduled traffic classes.
+//
+// The simulation is discrete-event (see internal/sim): link serialization,
+// propagation delay and switch forwarding latency are modelled explicitly,
+// so throughput and latency curves emerge from the model rather than being
+// table lookups. VNI filtering happens on the forwarding path exactly where
+// Rosetta enforces it — a packet is routed only if both the ingress and
+// egress ports have been granted the packet's VNI (paper §II-C).
+package fabric
+
+import "fmt"
+
+// Addr is a fabric address, one per NIC port (analogous to a Slingshot NIC
+// address assigned by the fabric manager).
+type Addr uint32
+
+// VNI is a Slingshot Virtual Network Identifier: an unsigned integer naming
+// a layer-2 isolation domain, similar to a VLAN tag.
+type VNI uint32
+
+// InvalidVNI is never carried by a valid packet.
+const InvalidVNI VNI = 0
+
+// TrafficClass selects one of the fabric's service levels. Slingshot
+// exposes several ordered classes; low-latency traffic preempts bulk data
+// at switch egress.
+type TrafficClass uint8
+
+// Traffic classes, highest priority first.
+const (
+	TCLowLatency TrafficClass = iota
+	TCDedicated
+	TCBulkData
+	TCBestEffort
+	numTrafficClasses
+)
+
+// String returns the conventional class name.
+func (tc TrafficClass) String() string {
+	switch tc {
+	case TCLowLatency:
+		return "low_latency"
+	case TCDedicated:
+		return "dedicated_access"
+	case TCBulkData:
+		return "bulk_data"
+	case TCBestEffort:
+		return "best_effort"
+	default:
+		return fmt.Sprintf("tc(%d)", uint8(tc))
+	}
+}
+
+// Valid reports whether tc names a real class.
+func (tc TrafficClass) Valid() bool { return tc < numTrafficClasses }
+
+// Packet is one fabric frame, or — when Frames > 1 — a coalesced burst of
+// equal-sized frames of one message, used to keep event counts tractable
+// for multi-megabyte transfers. A burst is VNI-checked once, which is
+// equivalent to per-frame checks because all frames of a message carry the
+// same VNI.
+type Packet struct {
+	Src, Dst Addr
+	VNI      VNI
+	TC       TrafficClass
+	// PayloadBytes is the total payload carried (all frames).
+	PayloadBytes int
+	// Frames is the number of wire frames this packet stands for (≥1).
+	Frames int
+	// DstIdx addresses an endpoint (portal index) within the destination
+	// NIC, analogous to the Cassini PID index.
+	DstIdx int
+	// MsgID and Offset let the receiver reassemble multi-packet messages.
+	MsgID  uint64
+	Offset int
+	// Last marks the final packet of a message.
+	Last bool
+	// RMA, when non-nil, tags the packet as a one-sided operation or its
+	// acknowledgement; the NIC model interprets it (internal/cxi).
+	RMA *RMAHeader
+}
+
+// RMAHeader describes a one-sided operation carried in-band.
+type RMAHeader struct {
+	Write   bool
+	Key     uint64
+	Offset  int
+	Length  int
+	ReplyEP int
+	// Ack marks the response leg; ReqID names the original request.
+	Ack   bool
+	ReqID uint64
+}
+
+// WireBytes returns the total on-wire size including per-frame header
+// overhead.
+func (p *Packet) WireBytes(headerBytes int) int {
+	return p.PayloadBytes + p.Frames*headerBytes
+}
+
+// Receiver consumes packets delivered by the fabric to a port.
+type Receiver interface {
+	// ReceivePacket is invoked in virtual time when the packet fully
+	// arrives at the port.
+	ReceivePacket(p *Packet)
+}
+
+// DropReason classifies why the switch discarded a packet.
+type DropReason int
+
+// Drop reasons.
+const (
+	DropVNIIngress DropReason = iota // ingress port lacks the VNI
+	DropVNIEgress                    // egress port lacks the VNI
+	DropNoRoute                      // unknown destination address
+	DropInvalidTC                    // unknown traffic class
+)
+
+// String names the drop reason.
+func (r DropReason) String() string {
+	switch r {
+	case DropVNIIngress:
+		return "vni_ingress_denied"
+	case DropVNIEgress:
+		return "vni_egress_denied"
+	case DropNoRoute:
+		return "no_route"
+	case DropInvalidTC:
+		return "invalid_tc"
+	default:
+		return fmt.Sprintf("drop(%d)", int(r))
+	}
+}

@@ -1,0 +1,315 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/caps-sim/shs-k8s/internal/metrics"
+	"github.com/caps-sim/shs-k8s/internal/osu"
+)
+
+// fastCommOpts shrinks sizes/iterations so unit tests stay quick; the full
+// sweeps run under -bench.
+func fastCommOpts(kind BenchKind, mode CommMode) CommOptions {
+	o := DefaultCommOptions(kind, mode)
+	o.Runs = 3
+	o.OSU.Sizes = []int{1, 1024, 65536, 1 << 20}
+	if kind == BenchBw {
+		o.OSU.Iterations, o.OSU.Warmup = 10, 2
+	} else {
+		o.OSU.Iterations, o.OSU.Warmup = 50, 5
+	}
+	return o
+}
+
+func fastCommFigure(t *testing.T, kind BenchKind) *CommFigure {
+	t.Helper()
+	fig := &CommFigure{Kind: kind}
+	for _, m := range []struct {
+		mode CommMode
+		dst  **CommSeries
+	}{{ModeHost, &fig.Host}, {ModeVNITrue, &fig.VNITrue}, {ModeVNIFalse, &fig.VNIFalse}} {
+		s, err := RunComm(fastCommOpts(kind, m.mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		*m.dst = s
+	}
+	return fig
+}
+
+func TestCommOverheadWithinOnePercent(t *testing.T) {
+	// The paper's §IV-A claim: "The observed overhead is negligible and
+	// remains within 1%" for both integration modes, both metrics.
+	for _, kind := range []BenchKind{BenchBw, BenchLatency} {
+		fig := fastCommFigure(t, kind)
+		for _, mode := range []CommMode{ModeVNITrue, ModeVNIFalse} {
+			if ovh := fig.MaxAbsOverheadPct(mode); ovh > 1.5 {
+				t.Errorf("%s %s: max overhead %.2f%%, paper claims ≤1%%", kind, mode, ovh)
+			}
+		}
+	}
+}
+
+func TestCommAllModesSameRegime(t *testing.T) {
+	fig := fastCommFigure(t, BenchBw)
+	for _, size := range fig.Host.Sizes {
+		h := metrics.Mean(fig.Host.ByRun[size])
+		for _, s := range []*CommSeries{fig.VNITrue, fig.VNIFalse} {
+			v := metrics.Mean(s.ByRun[size])
+			if v < h*0.9 || v > h*1.1 {
+				t.Errorf("size %d: %s = %.1f vs host %.1f", size, s.Mode, v, h)
+			}
+		}
+	}
+}
+
+func TestCommHostModeMatchesOSURegime(t *testing.T) {
+	s, err := RunComm(fastCommOpts(BenchLatency, ModeHost))
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := metrics.Mean(s.ByRun[1])
+	if small < 1 || small > 4 {
+		t.Errorf("1B latency = %.2f µs, want ~2 µs", small)
+	}
+}
+
+func TestRenderCommFigures(t *testing.T) {
+	fig := fastCommFigure(t, BenchBw)
+	var buf bytes.Buffer
+	RenderCommValues(&buf, fig, "MB/s")
+	out := buf.String()
+	if !strings.Contains(out, "1 MB") || !strings.Contains(out, "vni:true") {
+		t.Errorf("values table malformed:\n%s", out)
+	}
+	buf.Reset()
+	RenderCommOverhead(&buf, fig)
+	if !strings.Contains(buf.String(), "%") {
+		t.Error("overhead table missing percent values")
+	}
+}
+
+func fastAdmissionOpts(p LoadPattern, vni bool) AdmissionOptions {
+	o := DefaultAdmissionOptions(p, vni)
+	o.Runs = 1
+	o.SpikeJobs = 120
+	o.RampPeak = 5
+	o.RampSustain = 3
+	return o
+}
+
+func fastAdmissionFigure(t *testing.T, p LoadPattern) *AdmissionFigure {
+	t.Helper()
+	fig := &AdmissionFigure{Pattern: p}
+	for _, m := range []struct {
+		vni bool
+		dst **AdmissionResult
+	}{{true, &fig.VNITrue}, {false, &fig.VNIFalse}} {
+		res, err := RunAdmission(fastAdmissionOpts(p, m.vni))
+		if err != nil {
+			t.Fatal(err)
+		}
+		*m.dst = res
+	}
+	return fig
+}
+
+func TestRampAllJobsComplete(t *testing.T) {
+	res, err := RunAdmission(fastAdmissionOpts(PatternRamp, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, n := range batchSizes(fastAdmissionOpts(PatternRamp, true)) {
+		want += n
+	}
+	delays := res.Delays()
+	if len(delays) != want {
+		t.Errorf("completed %d jobs, want %d", len(delays), want)
+	}
+	for _, d := range delays {
+		if d <= 0 {
+			t.Fatal("non-positive admission delay")
+		}
+	}
+}
+
+func TestAdmissionLagsSubmission(t *testing.T) {
+	// Paper Fig. 9: "job admission lags behind job submission, indicating
+	// that Kubernetes itself introduces a considerable job admission
+	// delay" — later batches must see larger delays than batch 0.
+	opts := DefaultAdmissionOptions(PatternRamp, false) // full paper ramp
+	opts.Runs = 1
+	res, err := RunAdmission(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBatch := res.DelaysByBatch()
+	first := metrics.Mean(byBatch[0])
+	lastBatch := 0
+	for b := range byBatch {
+		if b > lastBatch {
+			lastBatch = b
+		}
+	}
+	peak := 0.0
+	for _, ds := range byBatch {
+		if m := metrics.Mean(ds); m > peak {
+			peak = m
+		}
+	}
+	if peak < first*2 {
+		t.Errorf("no queueing growth: first=%.2fs peak=%.2fs", first, peak)
+	}
+}
+
+func TestSpikeRunningJobsRiseAndDrain(t *testing.T) {
+	res, err := RunAdmission(fastAdmissionOpts(PatternSpike, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0
+	for _, run := range res.Runs {
+		for _, s := range run.Samples {
+			if s.Running > peak {
+				peak = s.Running
+			}
+		}
+	}
+	if peak < 30 {
+		t.Errorf("spike peak running = %d, expected a large backlog", peak)
+	}
+	// Final sample must be drained.
+	lastRun := res.Runs[len(res.Runs)-1]
+	if final := lastRun.Samples[len(lastRun.Samples)-1].Running; final != 0 {
+		t.Errorf("cluster not drained: %d running at end", final)
+	}
+}
+
+func TestAdmissionOverheadSmallAndPositive(t *testing.T) {
+	// Paper Fig. 12: median admission overhead 3.5% (ramp) / 1.6%
+	// (spike); we assert the reproduction's shape: a small positive
+	// overhead, well under 10%.
+	fig := fastAdmissionFigure(t, PatternRamp)
+	ovh := fig.MedianOverheadPct()
+	if ovh < 0 || ovh > 10 {
+		t.Errorf("ramp median overhead = %.2f%%, expected (0,10)", ovh)
+	}
+}
+
+func TestRenderAdmissionFigures(t *testing.T) {
+	fig := fastAdmissionFigure(t, PatternRamp)
+	var buf bytes.Buffer
+	RenderRunningJobs(&buf, fig)
+	if !strings.Contains(buf.String(), "# jobs") {
+		t.Error("running-jobs table malformed")
+	}
+	buf.Reset()
+	RenderAdmissionDelayPerBatch(&buf, fig)
+	if !strings.Contains(buf.String(), "batch") {
+		t.Error("per-batch table malformed")
+	}
+	buf.Reset()
+	RenderAdmissionBoxplot(&buf, fig)
+	out := buf.String()
+	if !strings.Contains(out, "median admission overhead") {
+		t.Errorf("boxplot table malformed:\n%s", out)
+	}
+}
+
+func TestBatchSizesRampShape(t *testing.T) {
+	opts := DefaultAdmissionOptions(PatternRamp, false)
+	sizes := batchSizes(opts)
+	if len(sizes) != 10+10+9 {
+		t.Fatalf("ramp batches = %d", len(sizes))
+	}
+	if sizes[0] != 1 || sizes[9] != 10 || sizes[19] != 10 || sizes[len(sizes)-1] != 1 {
+		t.Errorf("ramp shape wrong: %v", sizes)
+	}
+	spike := batchSizes(DefaultAdmissionOptions(PatternSpike, false))
+	if len(spike) != 1 || spike[0] != 500 {
+		t.Errorf("spike batches = %v", spike)
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable1(&buf)
+	out := buf.String()
+	for _, want := range []string{"k3s", "libfabric", "OSU", "†"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	bw := DefaultCommOptions(BenchBw, ModeHost)
+	if bw.Runs != 10 {
+		t.Errorf("bw runs = %d, paper uses 10", bw.Runs)
+	}
+	ramp := DefaultAdmissionOptions(PatternRamp, true)
+	if ramp.Runs != 5 || ramp.RampPeak != 10 || ramp.RampSustain != 10 {
+		t.Errorf("ramp opts = %+v, paper: 5 runs, peak 10, sustain 10", ramp)
+	}
+	spike := DefaultAdmissionOptions(PatternSpike, true)
+	if spike.SpikeJobs != 500 {
+		t.Errorf("spike jobs = %d, paper uses 500", spike.SpikeJobs)
+	}
+	if len(osu.DefaultSizes()) != 21 {
+		t.Error("size sweep should span 1B..1MB")
+	}
+}
+
+func TestTrafficClassIsolation(t *testing.T) {
+	// Use-case (1) of the paper's introduction: a latency-critical app
+	// co-scheduled with checkpointing traffic benefits from a different
+	// traffic class. The low-latency class must keep the victim's latency
+	// within ~2x of idle, while sharing the bulk class must not.
+	opts := DefaultTCOptions()
+	opts.Pings = 100
+	res, err := RunTrafficClassExperiment(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]TCResult{}
+	for _, r := range res {
+		byName[r.Scenario] = r
+	}
+	idle := byName["idle"].LatencyUs.P50
+	ll := byName["ll+bulk"].LatencyUs.P50
+	bulk := byName["bulk+bulk"].LatencyUs.P50
+	if idle <= 0 {
+		t.Fatal("no idle baseline")
+	}
+	if ll > idle*2 {
+		t.Errorf("low-latency class did not protect the victim: idle=%.2fus ll+bulk=%.2fus", idle, ll)
+	}
+	if bulk < idle*10 {
+		t.Errorf("bulk-on-bulk interference unexpectedly small: idle=%.2fus bulk+bulk=%.2fus", idle, bulk)
+	}
+}
+
+func TestOverlayComparisonSupportsPaperPremise(t *testing.T) {
+	// §II-D: overlay networking is "usually prohibitive for HPC
+	// workloads". The RDMA path must beat the overlay by a wide margin on
+	// both metrics at large sizes.
+	rows, err := RunOverlayComparison(1, []int{8, 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := rows[0], rows[1]
+	if small.LatencyFactor() < 5 {
+		t.Errorf("small-message latency factor = %.1fx, want ≥5x", small.LatencyFactor())
+	}
+	if large.BandwidthFactor() < 4 {
+		t.Errorf("streaming bandwidth factor = %.1fx, want ≥4x", large.BandwidthFactor())
+	}
+	var buf bytes.Buffer
+	RenderOverlayComparison(&buf, rows)
+	if !strings.Contains(buf.String(), "rdma") {
+		t.Error("render malformed")
+	}
+}

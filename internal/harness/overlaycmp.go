@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/metrics"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/overlaynet"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// OverlayCmpRow is one message size of the overlay-vs-RDMA comparison.
+type OverlayCmpRow struct {
+	Size int
+	// One-way latency in µs.
+	RDMALatUs, OverlayLatUs float64
+	// Streaming bandwidth in MB/s.
+	RDMABwMBs, OverlayBwMBs float64
+}
+
+// LatencyFactor returns how many times slower the overlay is.
+func (r OverlayCmpRow) LatencyFactor() float64 {
+	if r.RDMALatUs == 0 {
+		return 0
+	}
+	return r.OverlayLatUs / r.RDMALatUs
+}
+
+// BandwidthFactor returns how many times faster RDMA streams.
+func (r OverlayCmpRow) BandwidthFactor() float64 {
+	if r.OverlayBwMBs == 0 {
+		return 0
+	}
+	return r.RDMABwMBs / r.OverlayBwMBs
+}
+
+// RunOverlayComparison quantifies the paper's §II-D premise: the overlay
+// path (veth/bridge/VXLAN/kernel-TCP) versus Slingshot RDMA under the same
+// message workload. Latency = mean one-way small-batch latency; bandwidth =
+// streaming with 64 messages in flight.
+func RunOverlayComparison(seed int64, sizes []int) ([]OverlayCmpRow, error) {
+	if len(sizes) == 0 {
+		sizes = []int{8, 4096, 65536, 1 << 20}
+	}
+	var out []OverlayCmpRow
+	for _, size := range sizes {
+		rl, rb, err := rdmaPoint(seed, size)
+		if err != nil {
+			return nil, err
+		}
+		ol, ob := overlayPoint(seed, size)
+		out = append(out, OverlayCmpRow{
+			Size:      size,
+			RDMALatUs: rl, OverlayLatUs: ol,
+			RDMABwMBs: rb, OverlayBwMBs: ob,
+		})
+	}
+	return out, nil
+}
+
+// rdmaPoint measures one-way latency and streaming bandwidth over the
+// Slingshot path between two NICs.
+func rdmaPoint(seed int64, size int) (latUs, bwMBs float64, err error) {
+	eng := sim.NewEngine(seed)
+	kern := nsmodel.NewKernel()
+	sw := fabric.NewSwitch("s", eng, fabric.DefaultConfig())
+	devA := cxi.NewDevice("a", eng, kern, sw, cxi.DefaultDeviceConfig())
+	devB := cxi.NewDevice("b", eng, kern, sw, cxi.DefaultDeviceConfig())
+	pa, _ := kern.Spawn("a", 0, 0, 0, 0)
+	pb, _ := kern.Spawn("b", 0, 0, 0, 0)
+	epA, err := devA.EPAlloc(pa.PID, cxi.DefaultSvcID, 1, fabric.TCDedicated)
+	if err != nil {
+		return 0, 0, err
+	}
+	epB, err := devB.EPAlloc(pb.PID, cxi.DefaultSvcID, 1, fabric.TCDedicated)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Latency: 50 paced one-way messages.
+	var lats []float64
+	var sentAt sim.Time
+	n := 0
+	const rounds = 50
+	var fire func()
+	epB.OnMessage(func(cxi.Message) {
+		lats = append(lats, eng.Now().Sub(sentAt).Seconds()*1e6)
+		if n < rounds {
+			eng.After(2e3, fire) // 2 µs pacing
+		}
+	})
+	fire = func() {
+		sentAt = eng.Now()
+		n++
+		_ = epA.Send(devB.Addr(), epB.Idx(), size, nil)
+	}
+	eng.After(0, fire)
+	eng.Run()
+	latUs = metrics.Mean(lats)
+
+	// Bandwidth: 64 messages streamed back to back.
+	const window = 64
+	got := 0
+	var start, finish sim.Time
+	epB.OnMessage(func(cxi.Message) {
+		got++
+		if got == window {
+			finish = eng.Now()
+		}
+	})
+	start = eng.Now()
+	eng.After(0, func() {
+		for i := 0; i < window; i++ {
+			_ = epA.Send(devB.Addr(), epB.Idx(), size, nil)
+		}
+	})
+	eng.Run()
+	bwMBs = float64(size) * window / finish.Sub(start).Seconds() / 1e6
+	return latUs, bwMBs, nil
+}
+
+// overlayPoint measures the same workload over the overlay datapath model.
+func overlayPoint(seed int64, size int) (latUs, bwMBs float64) {
+	eng := sim.NewEngine(seed)
+	path := overlaynet.NewPath(eng, overlaynet.DefaultConfig())
+	var lats []float64
+	var sentAt sim.Time
+	n := 0
+	const rounds = 50
+	var fire func()
+	onMsg := func() {
+		lats = append(lats, eng.Now().Sub(sentAt).Seconds()*1e6)
+		if n < rounds {
+			eng.After(2e3, fire)
+		}
+	}
+	fire = func() {
+		sentAt = eng.Now()
+		n++
+		path.Send(size, onMsg)
+	}
+	eng.After(0, fire)
+	eng.Run()
+	latUs = metrics.Mean(lats)
+
+	const window = 64
+	got := 0
+	var start, finish sim.Time
+	start = eng.Now()
+	eng.After(0, func() {
+		for i := 0; i < window; i++ {
+			path.Send(size, func() {
+				got++
+				if got == window {
+					finish = eng.Now()
+				}
+			})
+		}
+	})
+	eng.Run()
+	bwMBs = float64(size) * window / finish.Sub(start).Seconds() / 1e6
+	return latUs, bwMBs
+}
+
+// RenderOverlayComparison writes the comparison table.
+func RenderOverlayComparison(w io.Writer, rows []OverlayCmpRow) {
+	fmt.Fprintf(w, "%-10s %12s %12s %8s %14s %14s %8s\n",
+		"size", "rdma lat us", "ovl lat us", "x", "rdma MB/s", "ovl MB/s", "x")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %12.2f %12.2f %7.1fx %14.0f %14.0f %7.1fx\n",
+			metrics.FormatBytes(r.Size), r.RDMALatUs, r.OverlayLatUs, r.LatencyFactor(),
+			r.RDMABwMBs, r.OverlayBwMBs, r.BandwidthFactor())
+	}
+}

@@ -1,0 +1,284 @@
+package k8s
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// Errors returned by the API server.
+var (
+	ErrNotFound      = errors.New("k8s: object not found")
+	ErrAlreadyExists = errors.New("k8s: object already exists")
+	ErrTerminating   = errors.New("k8s: object is terminating")
+)
+
+// APILatency models the control-plane processing costs that dominate the
+// paper's admission-delay baseline.
+type APILatency struct {
+	// Request is per-API-call processing (admission chain, etcd write).
+	Request sim.Duration
+	// WatchDelivery is the lag between a commit and watcher notification.
+	WatchDelivery sim.Duration
+	// Jitter is the uniform fraction applied to both.
+	Jitter float64
+}
+
+// DefaultAPILatency is calibrated against a small k3s deployment.
+func DefaultAPILatency() APILatency {
+	return APILatency{
+		Request:       6 * time.Millisecond,
+		WatchDelivery: 25 * time.Millisecond,
+		Jitter:        0.35,
+	}
+}
+
+type watcher struct {
+	kind    Kind
+	handler func(Event)
+}
+
+// APIServer is the cluster state store. All mutation goes through it; all
+// controllers react to its watch events. It is single-threaded on the
+// simulation engine.
+type APIServer struct {
+	eng      *sim.Engine
+	lat      APILatency
+	stores   map[Kind]map[string]Object
+	watchers []*watcher
+	nextUID  int
+}
+
+// NewAPIServer creates an empty API server.
+func NewAPIServer(eng *sim.Engine, lat APILatency) *APIServer {
+	return &APIServer{eng: eng, lat: lat, stores: make(map[Kind]map[string]Object)}
+}
+
+// Engine exposes the simulation engine to controllers.
+func (a *APIServer) Engine() *sim.Engine { return a.eng }
+
+func (a *APIServer) store(kind Kind) map[string]Object {
+	s, ok := a.stores[kind]
+	if !ok {
+		s = make(map[string]Object)
+		a.stores[kind] = s
+	}
+	return s
+}
+
+func (a *APIServer) reqDelay() sim.Duration {
+	return a.eng.Jitter(a.lat.Request, a.lat.Jitter)
+}
+
+func (a *APIServer) notify(t EventType, obj Object) {
+	for _, w := range a.watchers {
+		if w.kind != obj.GetMeta().Kind {
+			continue
+		}
+		w := w
+		cp := obj.DeepCopy()
+		a.eng.After(a.eng.Jitter(a.lat.WatchDelivery, a.lat.Jitter), func() {
+			w.handler(Event{Type: t, Object: cp})
+		})
+	}
+}
+
+// Watch registers handler for all events on kind. Handlers run in virtual
+// time, after the watch-delivery latency.
+func (a *APIServer) Watch(kind Kind, handler func(Event)) {
+	a.watchers = append(a.watchers, &watcher{kind: kind, handler: handler})
+}
+
+// Create stores a new object, assigning its UID and creation time. The
+// completion callback (optional) runs after the API round trip.
+func (a *APIServer) Create(obj Object, done func(error)) {
+	a.eng.After(a.reqDelay(), func() {
+		m := obj.GetMeta()
+		s := a.store(m.Kind)
+		if _, exists := s[m.Key()]; exists {
+			if done != nil {
+				done(fmt.Errorf("%w: %s %s", ErrAlreadyExists, m.Kind, m.Key()))
+			}
+			return
+		}
+		a.nextUID++
+		m.UID = UID(fmt.Sprintf("uid-%06d", a.nextUID))
+		m.Created = a.eng.Now()
+		stored := obj.DeepCopy()
+		s[m.Key()] = stored
+		a.notify(EventAdded, stored)
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// Get returns a copy of the object, synchronously (reads are served from
+// the controller's informer cache in real clusters, so no latency applies).
+func (a *APIServer) Get(kind Kind, namespace, name string) (Object, bool) {
+	obj, ok := a.store(kind)[namespace+"/"+name]
+	if !ok {
+		return nil, false
+	}
+	return obj.DeepCopy(), true
+}
+
+// List returns copies of all objects of kind, in key order. Empty namespace
+// lists across namespaces.
+func (a *APIServer) List(kind Kind, namespace string) []Object {
+	s := a.store(kind)
+	keys := make([]string, 0, len(s))
+	for k, obj := range s {
+		if namespace != "" && obj.GetMeta().Namespace != namespace {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Object, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s[k].DeepCopy())
+	}
+	return out
+}
+
+// Update replaces the stored object (by kind/namespace/name), preserving
+// UID and creation time. done is optional.
+func (a *APIServer) Update(obj Object, done func(error)) {
+	cp := obj.DeepCopy()
+	a.eng.After(a.reqDelay(), func() {
+		m := cp.GetMeta()
+		s := a.store(m.Kind)
+		old, ok := s[m.Key()]
+		if !ok {
+			if done != nil {
+				done(fmt.Errorf("%w: %s %s", ErrNotFound, m.Kind, m.Key()))
+			}
+			return
+		}
+		m.UID = old.GetMeta().UID
+		m.Created = old.GetMeta().Created
+		s[m.Key()] = cp
+		a.notify(EventModified, cp)
+		if done != nil {
+			done(nil)
+		}
+		// Finalizer removal may allow a pending deletion to complete.
+		if m.Deleting && len(m.Finalizers) == 0 {
+			a.finalizeDelete(m.Kind, m.Key())
+		}
+	})
+}
+
+// Delete begins deletion. With finalizers present the object enters the
+// terminating state and watchers see a MODIFIED event; once the last
+// finalizer is removed it disappears with a DELETED event. Without
+// finalizers it is removed immediately. Children owned via OwnerUID are
+// garbage-collected after the owner vanishes.
+func (a *APIServer) Delete(kind Kind, namespace, name string, done func(error)) {
+	a.eng.After(a.reqDelay(), func() {
+		s := a.store(kind)
+		key := namespace + "/" + name
+		obj, ok := s[key]
+		if !ok {
+			if done != nil {
+				done(fmt.Errorf("%w: %s %s", ErrNotFound, kind, key))
+			}
+			return
+		}
+		m := obj.GetMeta()
+		if len(m.Finalizers) > 0 {
+			if !m.Deleting {
+				m.Deleting = true
+				a.notify(EventModified, obj)
+			}
+			if done != nil {
+				done(nil)
+			}
+			return
+		}
+		a.finalizeDelete(kind, key)
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// finalizeDelete removes the object and garbage-collects its children.
+func (a *APIServer) finalizeDelete(kind Kind, key string) {
+	s := a.store(kind)
+	obj, ok := s[key]
+	if !ok {
+		return
+	}
+	delete(s, key)
+	a.notify(EventDeleted, obj)
+	a.collectOrphans(obj.GetMeta().UID)
+}
+
+// collectOrphans deletes every object owned by the vanished UID.
+func (a *APIServer) collectOrphans(owner UID) {
+	if owner == "" {
+		return
+	}
+	for kind, s := range a.stores {
+		for key, obj := range s {
+			if obj.GetMeta().OwnerUID == owner {
+				kind, key := kind, key
+				ns, name := obj.GetMeta().Namespace, obj.GetMeta().Name
+				_ = key
+				a.eng.After(a.reqDelay(), func() {
+					a.Delete(kind, ns, name, nil)
+				})
+			}
+		}
+	}
+}
+
+// RemoveFinalizer removes f from the object and triggers completion of a
+// pending delete when the finalizer list drains.
+func (a *APIServer) RemoveFinalizer(kind Kind, namespace, name, f string, done func(error)) {
+	a.eng.After(a.reqDelay(), func() {
+		s := a.store(kind)
+		key := namespace + "/" + name
+		obj, ok := s[key]
+		if !ok {
+			if done != nil {
+				done(fmt.Errorf("%w: %s %s", ErrNotFound, kind, key))
+			}
+			return
+		}
+		m := obj.GetMeta()
+		kept := m.Finalizers[:0]
+		for _, x := range m.Finalizers {
+			if x != f {
+				kept = append(kept, x)
+			}
+		}
+		m.Finalizers = kept
+		a.notify(EventModified, obj)
+		if m.Deleting && len(m.Finalizers) == 0 {
+			a.finalizeDelete(m.Kind, key)
+		}
+		if done != nil {
+			done(nil)
+		}
+	})
+}
+
+// UpdateStatus applies fn to the live stored object synchronously (status
+// writes from node agents are modelled as cheap). Watchers are notified.
+func (a *APIServer) UpdateStatus(kind Kind, namespace, name string, fn func(Object) bool) bool {
+	s := a.store(kind)
+	obj, ok := s[namespace+"/"+name]
+	if !ok {
+		return false
+	}
+	if fn(obj) {
+		a.notify(EventModified, obj)
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package k8s
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// JobControllerConfig tunes the job controller's work rate.
+type JobControllerConfig struct {
+	// PodCreateLatency is the controller-side cost per pod creation
+	// (workqueue processing plus client round trip). Together with QPS
+	// limiting it reproduces the linear admission behaviour the paper
+	// observes under burst load.
+	PodCreateLatency sim.Duration
+	// MaxQPS caps controller API writes per second (client-go rate
+	// limiter); 0 disables the cap.
+	MaxQPS float64
+	// Jitter fraction on latencies.
+	Jitter float64
+}
+
+// DefaultJobControllerConfig is calibrated against k3s defaults.
+func DefaultJobControllerConfig() JobControllerConfig {
+	return JobControllerConfig{
+		PodCreateLatency: 18 * time.Millisecond,
+		MaxQPS:           20,
+		Jitter:           0.35,
+	}
+}
+
+// JobController creates pods for jobs, tracks their completion, and deletes
+// finished jobs that request it — the behaviour the paper's admission tests
+// depend on ("Jobs are configured to be deleted immediately after
+// completion").
+type JobController struct {
+	api *APIServer
+	cfg JobControllerConfig
+	// workqueue of job keys with pods left to create.
+	queue   []string
+	busy    bool
+	lastOp  sim.Time
+	created map[string]int // pods created per job key
+
+	// gate, when set, defers pod creation for a job until it returns
+	// true. The VNI integration installs a gate so pods of vni-annotated
+	// jobs wait for their VNI CRD instance (paper: "Pods can therefore
+	// only launch when their acquisition request for a fresh VNI has been
+	// served").
+	gate func(job *Job) bool
+}
+
+// NewJobController creates and starts the controller.
+func NewJobController(api *APIServer, cfg JobControllerConfig) *JobController {
+	c := &JobController{api: api, cfg: cfg, created: make(map[string]int)}
+	api.Watch(KindJob, func(ev Event) {
+		job := ev.Object.(*Job)
+		switch ev.Type {
+		case EventAdded:
+			c.enqueue(job.Meta.Key())
+		case EventModified:
+			// A gate that was closed may have opened (e.g. VNI CRD
+			// appeared); re-queue jobs with pods outstanding.
+			if c.created[job.Meta.Key()] < job.Spec.Parallelism {
+				c.enqueue(job.Meta.Key())
+			}
+		case EventDeleted:
+			delete(c.created, job.Meta.Key())
+		}
+	})
+	api.Watch(KindPod, func(ev Event) {
+		pod := ev.Object.(*Pod)
+		if ev.Type == EventModified {
+			c.onPodUpdate(pod)
+		}
+	})
+	return c
+}
+
+// SetGate installs the pod-creation gate (see JobController.gate).
+func (c *JobController) SetGate(gate func(job *Job) bool) { c.gate = gate }
+
+// RequeueJob asks the controller to revisit a job (used by the VNI
+// integration when a gate opens).
+func (c *JobController) RequeueJob(key string) { c.enqueue(key) }
+
+func (c *JobController) enqueue(key string) {
+	for _, k := range c.queue {
+		if k == key {
+			return
+		}
+	}
+	c.queue = append(c.queue, key)
+	c.pump()
+}
+
+// pump serializes controller work and applies the QPS cap.
+func (c *JobController) pump() {
+	if c.busy || len(c.queue) == 0 {
+		return
+	}
+	c.busy = true
+	key := c.queue[0]
+	c.queue = c.queue[1:]
+	eng := c.api.Engine()
+	delay := eng.Jitter(c.cfg.PodCreateLatency, c.cfg.Jitter)
+	if c.cfg.MaxQPS > 0 {
+		// The client-side rate limiter gates API writes, not no-op
+		// reconciles: the gap is measured from the last actual write
+		// (lastOp is stamped in reconcile when a pod is created).
+		minGap := sim.Duration(float64(time.Second) / c.cfg.MaxQPS)
+		if next := c.lastOp.Add(minGap); next > eng.Now().Add(delay) {
+			delay = next.Sub(eng.Now())
+		}
+	}
+	eng.After(delay, func() {
+		c.reconcile(key)
+		c.busy = false
+		c.pump()
+	})
+}
+
+// reconcile creates the next missing pod for the job, re-queueing itself
+// until Parallelism pods exist.
+func (c *JobController) reconcile(key string) {
+	ns, name := splitKey(key)
+	obj, ok := c.api.Get(KindJob, ns, name)
+	if !ok {
+		return
+	}
+	job := obj.(*Job)
+	if job.Meta.Deleting || job.Status.Completed {
+		return
+	}
+	n := c.created[key]
+	if n >= job.Spec.Parallelism {
+		return
+	}
+	if c.gate != nil && !c.gate(job) {
+		// Gate closed: the gate owner is responsible for requeueing.
+		return
+	}
+	pod := &Pod{
+		Meta: Meta{
+			Kind:        KindPod,
+			Namespace:   job.Meta.Namespace,
+			Name:        fmt.Sprintf("%s-%d", job.Meta.Name, n),
+			Annotations: copyStringMap(job.Meta.Annotations),
+			Labels:      map[string]string{"job-name": job.Meta.Name},
+			OwnerUID:    job.Meta.UID,
+		},
+		Spec:   job.Spec.Template,
+		Status: PodStatus{Phase: PodPending},
+	}
+	c.created[key] = n + 1
+	c.lastOp = c.api.Engine().Now()
+	c.api.Create(pod, func(err error) {
+		if err != nil {
+			c.created[key]--
+		}
+	})
+	if c.created[key] < job.Spec.Parallelism {
+		c.enqueue(key)
+	}
+}
+
+// onPodUpdate folds pod phase changes into job status.
+func (c *JobController) onPodUpdate(pod *Pod) {
+	jobName, ok := pod.Meta.Labels["job-name"]
+	if !ok {
+		return
+	}
+	ns := pod.Meta.Namespace
+	obj, found := c.api.Get(KindJob, ns, jobName)
+	if !found {
+		return
+	}
+	job := obj.(*Job)
+	if job.Status.Completed {
+		return
+	}
+	// Recount from the live pod set for idempotency.
+	active, succeeded, failed := 0, 0, 0
+	var lastStart sim.Time
+	for _, po := range c.api.List(KindPod, ns) {
+		p := po.(*Pod)
+		if p.Meta.Labels["job-name"] != jobName {
+			continue
+		}
+		switch p.Status.Phase {
+		case PodRunning:
+			active++
+			if p.Status.StartedAt > lastStart {
+				lastStart = p.Status.StartedAt
+			}
+		case PodSucceeded:
+			succeeded++
+			if p.Status.StartedAt > lastStart {
+				lastStart = p.Status.StartedAt
+			}
+		case PodFailed:
+			failed++
+		case PodPending, PodScheduled:
+			active++
+		}
+	}
+	job.Status.Active = active
+	job.Status.Failed = failed
+	job.Status.Succeeded = succeeded
+	if job.Status.StartedAt == 0 && lastStart > 0 {
+		job.Status.StartedAt = lastStart
+	}
+	if succeeded+failed >= job.Spec.Parallelism && job.Spec.Parallelism > 0 {
+		job.Status.Completed = true
+		job.Status.CompletedAt = c.api.Engine().Now()
+		job.Status.AdmittedAt = lastStart
+	}
+	c.api.Update(job, func(err error) {
+		if err != nil || !job.Status.Completed {
+			return
+		}
+		if job.Spec.DeleteAfterFinished {
+			c.api.Engine().After(job.Spec.TTLAfterFinished, func() {
+				c.api.Delete(KindJob, ns, jobName, nil)
+			})
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package k8s
+
+import (
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// SchedulerConfig tunes the binding pipeline.
+type SchedulerConfig struct {
+	// BindLatency is per-pod scheduling plus binding cost.
+	BindLatency sim.Duration
+	// Jitter fraction on BindLatency.
+	Jitter float64
+}
+
+// DefaultSchedulerConfig matches a lightly loaded k3s scheduler.
+func DefaultSchedulerConfig() SchedulerConfig {
+	return SchedulerConfig{BindLatency: 12 * time.Millisecond, Jitter: 0.4}
+}
+
+// Scheduler assigns pending pods to nodes. It implements the paper's
+// "topology spread constraints" usage by always spreading: the node with
+// the fewest non-terminal pods wins, so the two OSU ranks land on the two
+// different nodes exactly as the paper configures via Volcano.
+type Scheduler struct {
+	api   *APIServer
+	cfg   SchedulerConfig
+	nodes []string
+	queue []string // pod keys awaiting binding
+	busy  bool
+}
+
+// NewScheduler creates and starts a scheduler over the given node names.
+func NewScheduler(api *APIServer, cfg SchedulerConfig, nodes []string) *Scheduler {
+	s := &Scheduler{api: api, cfg: cfg, nodes: append([]string(nil), nodes...)}
+	api.Watch(KindPod, func(ev Event) {
+		if ev.Type != EventAdded {
+			return
+		}
+		pod := ev.Object.(*Pod)
+		if pod.Spec.NodeName != "" || pod.Status.Phase != PodPending {
+			return
+		}
+		s.enqueue(pod.Meta.Key())
+	})
+	return s
+}
+
+func (s *Scheduler) enqueue(key string) {
+	s.queue = append(s.queue, key)
+	s.pump()
+}
+
+// pump processes the binding queue one pod at a time, mirroring the
+// single-threaded scheduling loop of kube-scheduler.
+func (s *Scheduler) pump() {
+	if s.busy || len(s.queue) == 0 {
+		return
+	}
+	s.busy = true
+	key := s.queue[0]
+	s.queue = s.queue[1:]
+	eng := s.api.Engine()
+	eng.After(eng.Jitter(s.cfg.BindLatency, s.cfg.Jitter), func() {
+		s.bind(key)
+		s.busy = false
+		s.pump()
+	})
+}
+
+func (s *Scheduler) bind(key string) {
+	ns, name := splitKey(key)
+	obj, ok := s.api.Get(KindPod, ns, name)
+	if !ok {
+		return // deleted while queued
+	}
+	pod := obj.(*Pod)
+	if pod.Spec.NodeName != "" || pod.Meta.Deleting {
+		return
+	}
+	node := s.pickNode()
+	if node == "" {
+		// No nodes: retry later.
+		s.api.Engine().After(500*time.Millisecond, func() { s.enqueue(key) })
+		return
+	}
+	pod.Spec.NodeName = node
+	pod.Status.Phase = PodScheduled
+	s.api.Update(pod, nil)
+}
+
+// pickNode returns the node with the fewest non-terminal pods.
+func (s *Scheduler) pickNode() string {
+	if len(s.nodes) == 0 {
+		return ""
+	}
+	counts := make(map[string]int, len(s.nodes))
+	for _, n := range s.nodes {
+		counts[n] = 0
+	}
+	for _, obj := range s.api.List(KindPod, "") {
+		pod := obj.(*Pod)
+		if pod.Spec.NodeName == "" {
+			continue
+		}
+		switch pod.Status.Phase {
+		case PodSucceeded, PodFailed:
+			continue
+		}
+		if _, ok := counts[pod.Spec.NodeName]; ok {
+			counts[pod.Spec.NodeName]++
+		}
+	}
+	best := s.nodes[0]
+	for _, n := range s.nodes[1:] {
+		if counts[n] < counts[best] {
+			best = n
+		}
+	}
+	return best
+}
+
+func splitKey(key string) (ns, name string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return "", key
+}

@@ -1,0 +1,85 @@
+// Package libcxi models the userspace CXI library. Applications do not talk
+// to the driver directly: they open a handle to a CXI device and ask the
+// library for an RDMA endpoint on a VNI. The library implements the service
+// scan the paper describes (§II-C): "This library then checks whether any
+// CXI service exists that (1) lists the requesting user as an authorized
+// member, and (2) is authorized to use the requested VNIs."
+//
+// The paper's patch extends this scan to the netns member type; in this
+// model the scan simply delegates per-service authentication to the driver,
+// which already understands all three member types.
+package libcxi
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+)
+
+// ErrNoMatchingService is returned when no CXI service authorizes the
+// caller for the requested VNI.
+var ErrNoMatchingService = errors.New("libcxi: no service authorizes caller for requested vni")
+
+// Handle is an open connection from one process to one CXI device, the
+// moral equivalent of an open /dev/cxi0 file descriptor.
+type Handle struct {
+	dev *cxi.Device
+	pid nsmodel.PID
+}
+
+// Open returns a handle for the calling process on dev.
+func Open(dev *cxi.Device, caller nsmodel.PID) *Handle {
+	return &Handle{dev: dev, pid: caller}
+}
+
+// Device returns the underlying device.
+func (h *Handle) Device() *cxi.Device { return h.dev }
+
+// PID returns the process the handle authenticates as.
+func (h *Handle) PID() nsmodel.PID { return h.pid }
+
+// SvcAlloc forwards a privileged service allocation (used by the CNI plugin
+// and by admin tooling, both of which run as host root).
+func (h *Handle) SvcAlloc(desc cxi.SvcDesc) (cxi.SvcID, error) {
+	return h.dev.SvcAlloc(h.pid, desc)
+}
+
+// SvcDestroy forwards a privileged service destruction.
+func (h *Handle) SvcDestroy(id cxi.SvcID) error {
+	return h.dev.SvcDestroy(h.pid, id)
+}
+
+// SvcList lists the device's services.
+func (h *Handle) SvcList() []cxi.Svc { return h.dev.SvcList() }
+
+// EPAlloc allocates an endpoint through an explicit service, mirroring
+// cxil_alloc_ep with a service ID.
+func (h *Handle) EPAlloc(svc cxi.SvcID, vni fabric.VNI, tc fabric.TrafficClass) (*cxi.Endpoint, error) {
+	return h.dev.EPAlloc(h.pid, svc, vni, tc)
+}
+
+// EPAllocAuto performs the library-side service scan: it walks the device's
+// services in ID order and allocates through the first one that (1) lists
+// the caller as an authorized member and (2) is authorized for the
+// requested VNI. This is the call path libfabric uses.
+func (h *Handle) EPAllocAuto(vni fabric.VNI, tc fabric.TrafficClass) (*cxi.Endpoint, error) {
+	var lastErr error
+	for _, svc := range h.dev.SvcList() {
+		ep, err := h.dev.EPAlloc(h.pid, svc.ID, vni, tc)
+		if err == nil {
+			return ep, nil
+		}
+		// Remember the most informative failure: limits/disabled beat
+		// plain membership misses.
+		if errors.Is(err, cxi.ErrResourceLimit) || errors.Is(err, cxi.ErrServiceDisabled) {
+			lastErr = err
+		}
+	}
+	if lastErr != nil {
+		return nil, lastErr
+	}
+	return nil, fmt.Errorf("%w (vni %d, pid %d)", ErrNoMatchingService, vni, h.pid)
+}

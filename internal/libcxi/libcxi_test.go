@@ -1,0 +1,150 @@
+package libcxi
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+type env struct {
+	eng  *sim.Engine
+	kern *nsmodel.Kernel
+	sw   *fabric.Switch
+	dev  *cxi.Device
+	root *nsmodel.Process
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	kern := nsmodel.NewKernel()
+	cfg := fabric.DefaultConfig()
+	cfg.JitterFrac = 0
+	sw := fabric.NewSwitch("s", eng, cfg)
+	dev := cxi.NewDevice("cxi0", eng, kern, sw, cxi.DefaultDeviceConfig())
+	root, err := kern.Spawn("root", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{eng: eng, kern: kern, sw: sw, dev: dev, root: root}
+}
+
+func TestEPAllocAutoScansServices(t *testing.T) {
+	e := newEnv(t)
+	rootH := Open(e.dev, e.root.PID)
+	ns := e.kern.NewNetNS("pod")
+	// Create two restricted services; only the second matches the caller.
+	if _, err := rootH.SvcAlloc(cxi.SvcDesc{
+		Name: "other", Restricted: true,
+		Members: []cxi.Member{cxi.UIDMember(5555)},
+		VNIs:    []fabric.VNI{200},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want, err := rootH.SvcAlloc(cxi.SvcDesc{
+		Name: "mine", Restricted: true,
+		Members: []cxi.Member{cxi.NetNSMember(ns.Inode)},
+		VNIs:    []fabric.VNI{200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := e.kern.Spawn("app", 1000, 1000, ns.Inode, 0)
+	h := Open(e.dev, p.PID)
+	ep, err := h.EPAllocAuto(200, fabric.TCDedicated)
+	if err != nil {
+		t.Fatalf("EPAllocAuto: %v", err)
+	}
+	defer ep.Close()
+	svc, _ := e.dev.SvcGet(want)
+	_ = svc
+	if ep.VNI() != 200 {
+		t.Errorf("ep vni = %d", ep.VNI())
+	}
+}
+
+func TestEPAllocAutoNoMatch(t *testing.T) {
+	e := newEnv(t)
+	ns := e.kern.NewNetNS("pod")
+	p, _ := e.kern.Spawn("app", 1000, 1000, ns.Inode, 0)
+	h := Open(e.dev, p.PID)
+	// VNI 999 is configured nowhere.
+	if _, err := h.EPAllocAuto(999, fabric.TCDedicated); !errors.Is(err, ErrNoMatchingService) {
+		t.Errorf("err = %v, want ErrNoMatchingService", err)
+	}
+}
+
+func TestEPAllocAutoFallsBackToDefaultService(t *testing.T) {
+	// The unrestricted default service on VNI 1 admits anyone — this is
+	// the vni:false baseline path in the paper's evaluation.
+	e := newEnv(t)
+	ns := e.kern.NewNetNS("pod")
+	p, _ := e.kern.Spawn("app", 1000, 1000, ns.Inode, 0)
+	h := Open(e.dev, p.PID)
+	ep, err := h.EPAllocAuto(1, fabric.TCDedicated)
+	if err != nil {
+		t.Fatalf("default-service alloc: %v", err)
+	}
+	ep.Close()
+}
+
+func TestEPAllocAutoSurfacesResourceLimit(t *testing.T) {
+	e := newEnv(t)
+	rootH := Open(e.dev, e.root.PID)
+	ns := e.kern.NewNetNS("pod")
+	if _, err := rootH.SvcAlloc(cxi.SvcDesc{
+		Name: "tiny", Restricted: true,
+		Members: []cxi.Member{cxi.NetNSMember(ns.Inode)},
+		VNIs:    []fabric.VNI{300},
+		Limits:  cxi.ResourceLimits{MaxTXQs: 1, MaxEQs: 1, MaxCTs: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := e.kern.Spawn("app", 0, 0, ns.Inode, 0)
+	h := Open(e.dev, p.PID)
+	ep, err := h.EPAllocAuto(300, fabric.TCDedicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	if _, err := h.EPAllocAuto(300, fabric.TCDedicated); !errors.Is(err, cxi.ErrResourceLimit) {
+		t.Errorf("err = %v, want ErrResourceLimit surfaced", err)
+	}
+}
+
+func TestSvcLifecycleViaHandle(t *testing.T) {
+	e := newEnv(t)
+	h := Open(e.dev, e.root.PID)
+	id, err := h.SvcAlloc(cxi.SvcDesc{Name: "svc", VNIs: []fabric.VNI{10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range h.SvcList() {
+		if s.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("allocated service not listed")
+	}
+	if err := h.SvcDestroy(id); err != nil {
+		t.Fatal(err)
+	}
+	if h.PID() != e.root.PID || h.Device() != e.dev {
+		t.Error("handle accessors wrong")
+	}
+}
+
+func TestUnprivilegedSvcAllocDenied(t *testing.T) {
+	e := newEnv(t)
+	p, _ := e.kern.Spawn("user", 1000, 1000, 0, 0)
+	h := Open(e.dev, p.PID)
+	if _, err := h.SvcAlloc(cxi.SvcDesc{Name: "x"}); !errors.Is(err, cxi.ErrPrivilege) {
+		t.Errorf("err = %v, want ErrPrivilege", err)
+	}
+}

@@ -1,0 +1,197 @@
+package libfabric
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/libcxi"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+type env struct {
+	eng        *sim.Engine
+	kern       *nsmodel.Kernel
+	sw         *fabric.Switch
+	devA, devB *cxi.Device
+	root       *nsmodel.Process
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	kern := nsmodel.NewKernel()
+	cfg := fabric.DefaultConfig()
+	cfg.JitterFrac = 0
+	sw := fabric.NewSwitch("s", eng, cfg)
+	devA := cxi.NewDevice("cxi0", eng, kern, sw, cxi.DefaultDeviceConfig())
+	devB := cxi.NewDevice("cxi1", eng, kern, sw, cxi.DefaultDeviceConfig())
+	root, err := kern.Spawn("root", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{eng: eng, kern: kern, sw: sw, devA: devA, devB: devB, root: root}
+}
+
+func TestGetInfoEnumeratesDevices(t *testing.T) {
+	e := newEnv(t)
+	p, _ := e.kern.Spawn("app", 0, 0, 0, 0)
+	infos := GetInfo([]*cxi.Device{e.devA, e.devB}, p.PID, 1, fabric.TCDedicated)
+	if len(infos) != 2 {
+		t.Fatalf("got %d infos", len(infos))
+	}
+	for _, in := range infos {
+		if in.Provider != ProviderName {
+			t.Errorf("provider = %q", in.Provider)
+		}
+	}
+}
+
+func TestOpenDomainDefaultVNI(t *testing.T) {
+	e := newEnv(t)
+	p, _ := e.kern.Spawn("app", 0, 0, 0, 0)
+	d, err := OpenDomain(e.eng, Info{Device: e.devA, Caller: p.PID, VNI: 1, TC: fabric.TCDedicated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.Addr().NIC != e.devA.Addr() {
+		t.Error("domain addr NIC mismatch")
+	}
+	if d.Info().VNI != 1 {
+		t.Error("info not preserved")
+	}
+}
+
+func TestOpenDomainDeniedWithoutService(t *testing.T) {
+	e := newEnv(t)
+	ns := e.kern.NewNetNS("pod")
+	p, _ := e.kern.Spawn("app", 1000, 1000, ns.Inode, 0)
+	_, err := OpenDomain(e.eng, Info{Device: e.devA, Caller: p.PID, VNI: 777, TC: fabric.TCDedicated})
+	if !errors.Is(err, libcxi.ErrNoMatchingService) {
+		t.Errorf("err = %v, want ErrNoMatchingService", err)
+	}
+}
+
+func TestSendRecvBetweenContainerDomains(t *testing.T) {
+	e := newEnv(t)
+	vni := fabric.VNI(88)
+	nsA := e.kern.NewNetNS("podA")
+	nsB := e.kern.NewNetNS("podB")
+	for _, cfg := range []struct {
+		dev *cxi.Device
+		ns  nsmodel.Inode
+	}{{e.devA, nsA.Inode}, {e.devB, nsB.Inode}} {
+		h := libcxi.Open(cfg.dev, e.root.PID)
+		if _, err := h.SvcAlloc(cxi.SvcDesc{
+			Name: "pod", Restricted: true,
+			Members: []cxi.Member{cxi.NetNSMember(cfg.ns)},
+			VNIs:    []fabric.VNI{vni},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pa, _ := e.kern.Spawn("a", 0, 0, nsA.Inode, 0)
+	pb, _ := e.kern.Spawn("b", 0, 0, nsB.Inode, 0)
+	da, err := OpenDomain(e.eng, Info{Device: e.devA, Caller: pa.PID, VNI: vni, TC: fabric.TCDedicated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDomain(e.eng, Info{Device: e.devB, Caller: pb.PID, VNI: vni, TC: fabric.TCDedicated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSize := -1
+	var gotSrc Addr
+	db.OnRecv(func(src Addr, size int) { gotSrc, gotSize = src, size })
+	completed := false
+	e.eng.After(0, func() {
+		if err := da.Send(db.Addr(), 4096, func() { completed = true }); err != nil {
+			t.Error(err)
+		}
+	})
+	e.eng.Run()
+	if gotSize != 4096 {
+		t.Fatalf("recv size = %d, want 4096", gotSize)
+	}
+	if gotSrc.NIC != e.devA.Addr() {
+		t.Errorf("recv src = %v", gotSrc)
+	}
+	if !completed {
+		t.Error("tx completion missing")
+	}
+}
+
+func TestSendAfterCloseFails(t *testing.T) {
+	e := newEnv(t)
+	p, _ := e.kern.Spawn("app", 0, 0, 0, 0)
+	d, err := OpenDomain(e.eng, Info{Device: e.devA, Caller: p.PID, VNI: 1, TC: fabric.TCDedicated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d.Close() // idempotent
+	if err := d.Send(Addr{}, 1, nil); !errors.Is(err, ErrDomainClosed) {
+		t.Errorf("err = %v, want ErrDomainClosed", err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	a := Addr{NIC: 3, EP: 9}
+	if a.String() != "cxi://3/9" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestRMAThroughDomains(t *testing.T) {
+	e := newEnv(t)
+	pa, _ := e.kern.Spawn("a", 0, 0, 0, 0)
+	pb, _ := e.kern.Spawn("b", 0, 0, 0, 0)
+	da, err := OpenDomain(e.eng, Info{Device: e.devA, Caller: pa.PID, VNI: 1, TC: fabric.TCDedicated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenDomain(e.eng, Info{Device: e.devB, Caller: pb.PID, VNI: 1, TC: fabric.TCDedicated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := db.RegisterMR(1<<20, AccessRemoteRead|AccessRemoteWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrote, read := false, false
+	e.eng.After(0, func() {
+		if err := da.Write(db.Addr(), mr.Key(), 0, 4096, func() { wrote = true }); err != nil {
+			t.Error(err)
+		}
+		if err := da.Read(db.Addr(), mr.Key(), 4096, 8192, func() { read = true }); err != nil {
+			t.Error(err)
+		}
+	})
+	e.eng.Run()
+	if !wrote || !read {
+		t.Errorf("wrote=%v read=%v", wrote, read)
+	}
+	db.DeregisterMR(mr)
+	// RMA against the deregistered key must not complete.
+	late := false
+	e.eng.After(0, func() {
+		_ = da.Write(db.Addr(), mr.Key(), 0, 64, func() { late = true })
+	})
+	e.eng.Run()
+	if late {
+		t.Error("write to deregistered MR completed")
+	}
+	da.Close()
+	if _, err := da.RegisterMR(64, AccessRemoteRead); err == nil {
+		t.Error("RegisterMR on closed domain succeeded")
+	}
+	if err := da.Write(db.Addr(), mr.Key(), 0, 1, nil); err == nil {
+		t.Error("Write on closed domain succeeded")
+	}
+	if err := da.Read(db.Addr(), mr.Key(), 0, 1, nil); err == nil {
+		t.Error("Read on closed domain succeeded")
+	}
+}

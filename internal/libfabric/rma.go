@@ -1,0 +1,58 @@
+package libfabric
+
+import (
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+)
+
+// MR is a registered memory region exposed for remote access, the
+// fi_mr_reg equivalent.
+type MR struct {
+	mr *cxi.MemoryRegion
+}
+
+// Key returns the remote key to share with peers.
+func (m *MR) Key() uint64 { return uint64(m.mr.Key) }
+
+// Access bits re-exported for callers.
+const (
+	AccessRemoteRead  = cxi.MRRemoteRead
+	AccessRemoteWrite = cxi.MRRemoteWrite
+)
+
+// RegisterMR registers size bytes for remote access (fi_mr_reg).
+func (d *Domain) RegisterMR(size int, access cxi.MRAccess) (*MR, error) {
+	if d.closed {
+		return nil, ErrDomainClosed
+	}
+	mr, err := d.ep.RegisterMR(size, access)
+	if err != nil {
+		return nil, err
+	}
+	return &MR{mr: mr}, nil
+}
+
+// DeregisterMR revokes the region (fi_close on the MR).
+func (d *Domain) DeregisterMR(m *MR) {
+	if d.closed {
+		return
+	}
+	d.ep.DeregisterMR(m.mr)
+}
+
+// Write performs an RDMA write of size bytes into the remote region
+// (fi_write); onComplete fires at remote completion acknowledgement.
+func (d *Domain) Write(dst Addr, key uint64, offset, size int, onComplete func()) error {
+	if d.closed {
+		return ErrDomainClosed
+	}
+	return d.ep.Write(dst.NIC, dst.EP, cxi.MRKey(key), offset, size, onComplete)
+}
+
+// Read performs an RDMA read of size bytes from the remote region
+// (fi_read); onData fires when the data has arrived locally.
+func (d *Domain) Read(dst Addr, key uint64, offset, size int, onData func()) error {
+	if d.closed {
+		return ErrDomainClosed
+	}
+	return d.ep.Read(dst.NIC, dst.EP, cxi.MRKey(key), offset, size, onData)
+}

@@ -1,0 +1,138 @@
+package manifest
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/vniapi"
+)
+
+// Parse reads YAML documents and returns the typed objects they declare.
+// Supported kinds: Job (batch/v1, paper Listings 1 and 3) and VniClaim
+// (paper Listing 2).
+func Parse(r io.Reader) ([]k8s.Object, error) {
+	docs, err := parseDocs(r)
+	if err != nil {
+		return nil, err
+	}
+	var out []k8s.Object
+	for i, doc := range docs {
+		obj, err := decode(doc)
+		if err != nil {
+			return nil, fmt.Errorf("manifest: document %d: %w", i+1, err)
+		}
+		out = append(out, obj)
+	}
+	return out, nil
+}
+
+func decode(doc *node) (k8s.Object, error) {
+	kind := doc.str("kind")
+	switch kind {
+	case "Job":
+		return decodeJob(doc)
+	case "VniClaim":
+		return decodeClaim(doc)
+	case "":
+		return nil, fmt.Errorf("missing kind")
+	default:
+		return nil, fmt.Errorf("unsupported kind %q", kind)
+	}
+}
+
+func decodeMeta(doc *node, kind k8s.Kind) (k8s.Meta, error) {
+	meta := k8s.Meta{Kind: kind}
+	md := doc.get("metadata")
+	if md == nil {
+		return meta, fmt.Errorf("missing metadata")
+	}
+	meta.Name = md.str("name")
+	if meta.Name == "" {
+		return meta, fmt.Errorf("missing metadata.name")
+	}
+	meta.Namespace = md.str("namespace")
+	if meta.Namespace == "" {
+		meta.Namespace = "default"
+	}
+	if ann := md.get("annotations"); ann != nil && ann.isMap {
+		meta.Annotations = make(map[string]string, len(ann.keys))
+		for _, k := range ann.keys {
+			meta.Annotations[k] = ann.child[k].scalar
+		}
+	}
+	return meta, nil
+}
+
+func decodeJob(doc *node) (k8s.Object, error) {
+	meta, err := decodeMeta(doc, k8s.KindJob)
+	if err != nil {
+		return nil, err
+	}
+	job := &k8s.Job{Meta: meta, Spec: k8s.JobSpec{Parallelism: 1}}
+	spec := doc.get("spec")
+	if spec != nil {
+		if p := spec.str("parallelism"); p != "" {
+			n, err := strconv.Atoi(p)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("invalid spec.parallelism %q", p)
+			}
+			job.Spec.Parallelism = n
+		}
+		if ttl := spec.str("ttlSecondsAfterFinished"); ttl != "" {
+			n, err := strconv.Atoi(ttl)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("invalid spec.ttlSecondsAfterFinished %q", ttl)
+			}
+			job.Spec.DeleteAfterFinished = true
+			job.Spec.TTLAfterFinished = sim.Duration(n) * time.Second
+		}
+		if tpl := spec.get("template", "spec"); tpl != nil {
+			if g := tpl.str("terminationGracePeriodSeconds"); g != "" {
+				n, err := strconv.Atoi(g)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("invalid terminationGracePeriodSeconds %q", g)
+				}
+				job.Spec.Template.TerminationGracePeriod = sim.Duration(n) * time.Second
+			}
+			if tpl.str("hostNetwork") == "true" {
+				job.Spec.Template.HostNetwork = true
+			}
+			if c := tpl.get("containers"); c != nil && c.isMap {
+				// Single-container model: take the image of the first
+				// (and only) declared container.
+				for _, k := range c.keys {
+					if k == "image" {
+						job.Spec.Template.Image = c.child[k].scalar
+					}
+				}
+			}
+		}
+	}
+	if job.Spec.Template.Image == "" {
+		job.Spec.Template.Image = "alpine:latest"
+	}
+	// The paper's admission workload: echo-style near-instant commands.
+	if job.Spec.Template.RunDuration == 0 {
+		job.Spec.Template.RunDuration = 50 * time.Millisecond
+	}
+	return job, nil
+}
+
+func decodeClaim(doc *node) (k8s.Object, error) {
+	meta, err := decodeMeta(doc, vniapi.KindVniClaim)
+	if err != nil {
+		return nil, err
+	}
+	claimName := doc.str("spec", "name")
+	if claimName == "" {
+		claimName = meta.Name
+	}
+	return &k8s.Custom{
+		Meta: meta,
+		Spec: map[string]string{vniapi.ClaimSpecName: claimName},
+	}, nil
+}

@@ -1,0 +1,183 @@
+// Package manifest parses the user-facing YAML interface of the paper's
+// integration — Kubernetes Jobs with the vni annotation (Listing 1 and 3)
+// and VniClaim resources (Listing 2) — into the typed objects of
+// internal/k8s, so manifests can be submitted with `shscluster -f`.
+//
+// The parser implements the YAML subset those manifests use (stdlib only):
+// block mappings with consistent indentation, scalar values (strings,
+// numbers, booleans, quoted strings), `---` document separators, and `#`
+// comments. It is not a general YAML parser and rejects what it does not
+// understand rather than guessing.
+package manifest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrSyntax wraps parse failures.
+var ErrSyntax = errors.New("manifest: syntax error")
+
+// node is a parsed YAML value: string scalar or nested mapping.
+type node struct {
+	scalar string
+	isMap  bool
+	keys   []string // insertion order
+	child  map[string]*node
+}
+
+func newMap() *node { return &node{isMap: true, child: make(map[string]*node)} }
+
+func (n *node) set(key string, v *node) {
+	if _, exists := n.child[key]; !exists {
+		n.keys = append(n.keys, key)
+	}
+	n.child[key] = v
+}
+
+// get walks a dotted path; returns nil if absent.
+func (n *node) get(path ...string) *node {
+	cur := n
+	for _, p := range path {
+		if cur == nil || !cur.isMap {
+			return nil
+		}
+		cur = cur.child[p]
+	}
+	return cur
+}
+
+// str returns the scalar at path, or "".
+func (n *node) str(path ...string) string {
+	v := n.get(path...)
+	if v == nil || v.isMap {
+		return ""
+	}
+	return v.scalar
+}
+
+type line struct {
+	indent int
+	key    string
+	value  string
+	lineNo int
+}
+
+// parseDocs splits the stream into documents and parses each into a tree.
+func parseDocs(r io.Reader) ([]*node, error) {
+	sc := bufio.NewScanner(r)
+	var docs []*node
+	var lines []line
+	lineNo := 0
+	flush := func() error {
+		if len(lines) == 0 {
+			return nil
+		}
+		root, rest, err := buildMap(lines, lines[0].indent)
+		if err != nil {
+			return err
+		}
+		if len(rest) != 0 {
+			return fmt.Errorf("%w: line %d: unexpected dedent", ErrSyntax, rest[0].lineNo)
+		}
+		docs = append(docs, root)
+		lines = nil
+		return nil
+	}
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		if trimmed == "---" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if strings.ContainsRune(raw[:indent], '\t') {
+			return nil, fmt.Errorf("%w: line %d: tabs are not allowed in indentation", ErrSyntax, lineNo)
+		}
+		key, value, ok := splitKV(trimmed)
+		if !ok {
+			return nil, fmt.Errorf("%w: line %d: expected \"key: value\" or \"key:\", got %q", ErrSyntax, lineNo, trimmed)
+		}
+		lines = append(lines, line{indent: indent, key: key, value: value, lineNo: lineNo})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+// splitKV separates "key: value" honoring a trailing-colon block key.
+func splitKV(s string) (key, value string, ok bool) {
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	key = strings.TrimSpace(s[:i])
+	value = strings.TrimSpace(s[i+1:])
+	// Strip trailing comments; a quoted value ends at its closing quote.
+	if len(value) > 0 && (value[0] == '"' || value[0] == '\'') {
+		if j := strings.IndexByte(value[1:], value[0]); j >= 0 {
+			value = value[:j+2]
+		}
+	} else if j := strings.Index(value, " #"); j >= 0 {
+		value = strings.TrimSpace(value[:j])
+	}
+	return key, unquote(value), true
+}
+
+func unquote(v string) string {
+	if len(v) >= 2 {
+		if (v[0] == '"' && v[len(v)-1] == '"') || (v[0] == '\'' && v[len(v)-1] == '\'') {
+			return v[1 : len(v)-1]
+		}
+	}
+	return v
+}
+
+// buildMap consumes lines at exactly `indent`, recursing for deeper blocks.
+func buildMap(lines []line, indent int) (*node, []line, error) {
+	m := newMap()
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			return m, lines, nil
+		}
+		if l.indent > indent {
+			return nil, nil, fmt.Errorf("%w: line %d: unexpected indent", ErrSyntax, l.lineNo)
+		}
+		lines = lines[1:]
+		if l.value != "" {
+			m.set(l.key, &node{scalar: l.value})
+			continue
+		}
+		// Block value: everything more indented belongs to it.
+		if len(lines) > 0 && lines[0].indent > indent {
+			child, rest, err := buildMap(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			m.set(l.key, child)
+			lines = rest
+			continue
+		}
+		// "key:" with nothing nested — empty scalar.
+		m.set(l.key, &node{scalar: ""})
+	}
+	return m, lines, nil
+}

@@ -1,0 +1,277 @@
+// Package metactl reimplements the slice of Metacontroller the paper's VNI
+// Controller is built on: the DecoratorController, which watches existing
+// resources matching a selector and "decorates" them with child objects.
+// The desired-children logic lives behind webhooks with apply semantics —
+// the controller sends the observed parent and its current children, the
+// webhook answers with the desired children, and the controller reconciles
+// the cluster toward that answer (paper §III-C1/C2).
+//
+// Two hooks exist, mirroring Metacontroller's contract:
+//
+//	/sync     — called for live parents (create/update); response carries
+//	            the desired child list. Must be idempotent.
+//	/finalize — called for deleting parents while the controller's
+//	            finalizer is attached; response says whether finalization
+//	            is complete. Children are deleted and the finalizer removed
+//	            only once the hook reports Finalized.
+package metactl
+
+import (
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// SyncRequest is the webhook input.
+type SyncRequest struct {
+	Parent k8s.Object
+	// Children are the controller-owned children currently attached to
+	// the parent.
+	Children []*k8s.Custom
+}
+
+// SyncResponse is the webhook output for /sync.
+type SyncResponse struct {
+	// Children is the desired child set (apply semantics: missing ones
+	// are created, changed ones updated, unlisted ones deleted).
+	Children []*k8s.Custom
+}
+
+// FinalizeResponse is the webhook output for /finalize.
+type FinalizeResponse struct {
+	// Finalized reports whether cleanup is complete; until then the
+	// parent is held by the finalizer and the hook is retried.
+	Finalized bool
+	// Children is the desired child set while finalization is pending
+	// (usually empty).
+	Children []*k8s.Custom
+}
+
+// Hooks is the webhook implementation (the paper's VNI Endpoint).
+type Hooks interface {
+	Sync(req SyncRequest) (SyncResponse, error)
+	Finalize(req SyncRequest) (FinalizeResponse, error)
+}
+
+// Config describes one decorator controller instance.
+type Config struct {
+	Name string
+	// ParentKind is the watched resource type.
+	ParentKind k8s.Kind
+	// Selector filters parents; nil selects all.
+	Selector func(k8s.Object) bool
+	// ChildKind is the kind of managed children.
+	ChildKind k8s.Kind
+	// Finalizer, when non-empty, is attached to matching parents so the
+	// Finalize hook gates their deletion.
+	Finalizer string
+	// WebhookLatency models the HTTP round trip to the webhook pod.
+	WebhookLatency sim.Duration
+	// FinalizeRetry is the backoff between finalize attempts that report
+	// Finalized=false.
+	FinalizeRetry sim.Duration
+	// Jitter fraction on latencies.
+	Jitter float64
+}
+
+// DefaultConfig fills latency defaults.
+func DefaultConfig() Config {
+	return Config{
+		WebhookLatency: 12 * time.Millisecond,
+		FinalizeRetry:  500 * time.Millisecond,
+		Jitter:         0.35,
+	}
+}
+
+// Decorator is a running decorator controller.
+type Decorator struct {
+	api   *k8s.APIServer
+	cfg   Config
+	hooks Hooks
+	// inFlight dedups concurrent reconciles per parent key.
+	inFlight map[string]bool
+	// pending marks parents that changed while a reconcile was running.
+	pending map[string]bool
+}
+
+// NewDecorator creates and starts the controller.
+func NewDecorator(api *k8s.APIServer, cfg Config, hooks Hooks) *Decorator {
+	d := &Decorator{api: api, cfg: cfg, hooks: hooks,
+		inFlight: make(map[string]bool), pending: make(map[string]bool)}
+	api.Watch(cfg.ParentKind, func(ev k8s.Event) {
+		if ev.Type == k8s.EventDeleted {
+			return
+		}
+		if cfg.Selector != nil && !cfg.Selector(ev.Object) {
+			return
+		}
+		d.schedule(ev.Object.GetMeta().Key())
+	})
+	return d
+}
+
+func (d *Decorator) schedule(key string) {
+	if d.inFlight[key] {
+		d.pending[key] = true
+		return
+	}
+	d.inFlight[key] = true
+	eng := d.api.Engine()
+	eng.After(eng.Jitter(d.cfg.WebhookLatency, d.cfg.Jitter), func() {
+		d.reconcile(key, func() {
+			d.inFlight[key] = false
+			if d.pending[key] {
+				d.pending[key] = false
+				d.schedule(key)
+			}
+		})
+	})
+}
+
+// reconcile drives one parent toward the webhook's desired state.
+func (d *Decorator) reconcile(key string, done func()) {
+	ns, name := splitKey(key)
+	obj, ok := d.api.Get(d.cfg.ParentKind, ns, name)
+	if !ok {
+		done()
+		return
+	}
+	meta := obj.GetMeta()
+	req := SyncRequest{Parent: obj, Children: d.childrenOf(meta)}
+
+	if meta.Deleting {
+		if d.cfg.Finalizer == "" || !meta.HasFinalizer(d.cfg.Finalizer) {
+			done()
+			return
+		}
+		resp, err := d.hooks.Finalize(req)
+		if err != nil || !resp.Finalized {
+			d.applyChildren(meta, resp.Children, func() {
+				eng := d.api.Engine()
+				eng.After(eng.Jitter(d.cfg.FinalizeRetry, d.cfg.Jitter), func() { d.schedule(key) })
+				done()
+			})
+			return
+		}
+		// Finalized: remove all children, then the finalizer.
+		d.applyChildren(meta, nil, func() {
+			d.api.RemoveFinalizer(d.cfg.ParentKind, ns, name, d.cfg.Finalizer, func(error) { done() })
+		})
+		return
+	}
+
+	// Live parent: ensure finalizer, call sync, apply children.
+	ensureFinalizer := func(next func()) {
+		if d.cfg.Finalizer == "" || meta.HasFinalizer(d.cfg.Finalizer) {
+			next()
+			return
+		}
+		meta.Finalizers = append(meta.Finalizers, d.cfg.Finalizer)
+		d.api.Update(obj, func(error) { next() })
+	}
+	ensureFinalizer(func() {
+		resp, err := d.hooks.Sync(req)
+		if err != nil {
+			// Sync errors are retried on the next parent event or via
+			// explicit Resync; children are left untouched.
+			done()
+			return
+		}
+		d.applyChildren(meta, resp.Children, done)
+	})
+}
+
+// childrenOf lists controller-owned children of the parent.
+func (d *Decorator) childrenOf(meta *k8s.Meta) []*k8s.Custom {
+	var out []*k8s.Custom
+	for _, obj := range d.api.List(d.cfg.ChildKind, meta.Namespace) {
+		c, ok := obj.(*k8s.Custom)
+		if !ok {
+			continue
+		}
+		if c.Meta.OwnerUID == meta.UID {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// applyChildren reconciles the actual child set toward desired.
+func (d *Decorator) applyChildren(parent *k8s.Meta, desired []*k8s.Custom, done func()) {
+	current := d.childrenOf(parent)
+	curByName := make(map[string]*k8s.Custom, len(current))
+	for _, c := range current {
+		curByName[c.Meta.Name] = c
+	}
+	wantByName := make(map[string]*k8s.Custom, len(desired))
+	remaining := 0
+	finish := func() {
+		remaining--
+		if remaining == 0 {
+			done()
+		}
+	}
+	var ops []func()
+	for _, w := range desired {
+		w := w
+		w.Meta.Kind = d.cfg.ChildKind
+		w.Meta.Namespace = parent.Namespace
+		w.Meta.OwnerUID = parent.UID
+		wantByName[w.Meta.Name] = w
+		if cur, exists := curByName[w.Meta.Name]; exists {
+			if !specsEqual(cur.Spec, w.Spec) {
+				ops = append(ops, func() { d.api.Update(w, func(error) { finish() }) })
+			}
+			continue
+		}
+		ops = append(ops, func() { d.api.Create(w, func(error) { finish() }) })
+	}
+	for _, c := range current {
+		c := c
+		if _, keep := wantByName[c.Meta.Name]; !keep {
+			ops = append(ops, func() {
+				d.api.Delete(d.cfg.ChildKind, c.Meta.Namespace, c.Meta.Name, func(error) { finish() })
+			})
+		}
+	}
+	if len(ops) == 0 {
+		done()
+		return
+	}
+	remaining = len(ops)
+	for _, op := range ops {
+		op()
+	}
+}
+
+// Resync re-queues every matching parent (Metacontroller's resyncPeriod).
+func (d *Decorator) Resync() {
+	for _, obj := range d.api.List(d.cfg.ParentKind, "") {
+		if d.cfg.Selector != nil && !d.cfg.Selector(obj) {
+			continue
+		}
+		d.schedule(obj.GetMeta().Key())
+	}
+}
+
+func specsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func splitKey(key string) (ns, name string) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return "", key
+}

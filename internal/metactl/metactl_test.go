@@ -1,0 +1,202 @@
+package metactl
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+const kindChild k8s.Kind = "TestChild"
+
+// scriptedHooks returns fixed desired children and records calls.
+type scriptedHooks struct {
+	desired      func(parent k8s.Object) []*k8s.Custom
+	finalized    bool
+	syncCalls    int
+	finalizeCnt  int
+	syncErr      error
+	lastChildren int
+}
+
+func (h *scriptedHooks) Sync(req SyncRequest) (SyncResponse, error) {
+	h.syncCalls++
+	h.lastChildren = len(req.Children)
+	if h.syncErr != nil {
+		return SyncResponse{}, h.syncErr
+	}
+	return SyncResponse{Children: h.desired(req.Parent)}, nil
+}
+
+func (h *scriptedHooks) Finalize(req SyncRequest) (FinalizeResponse, error) {
+	h.finalizeCnt++
+	return FinalizeResponse{Finalized: h.finalized}, nil
+}
+
+func testCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Name = "test"
+	cfg.ParentKind = k8s.KindJob
+	cfg.ChildKind = kindChild
+	cfg.Finalizer = "test/finalizer"
+	cfg.Jitter = 0
+	return cfg
+}
+
+func oneChild(name string, spec map[string]string) func(k8s.Object) []*k8s.Custom {
+	return func(parent k8s.Object) []*k8s.Custom {
+		return []*k8s.Custom{{
+			Meta: k8s.Meta{Name: name},
+			Spec: spec,
+		}}
+	}
+}
+
+func newEnv(t *testing.T, cfg Config, h Hooks) (*sim.Engine, *k8s.APIServer, *Decorator) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	api := k8s.NewAPIServer(eng, k8s.DefaultAPILatency())
+	d := NewDecorator(api, cfg, h)
+	return eng, api, d
+}
+
+func submitJob(eng *sim.Engine, api *k8s.APIServer, name string, ann map[string]string) {
+	api.Create(&k8s.Job{Meta: k8s.Meta{Kind: k8s.KindJob, Namespace: "ns", Name: name, Annotations: ann}}, nil)
+	eng.RunFor(5 * time.Second)
+}
+
+func TestDecoratorCreatesDesiredChild(t *testing.T) {
+	h := &scriptedHooks{desired: oneChild("child-a", map[string]string{"vni": "9"})}
+	eng, api, _ := newEnv(t, testCfg(), h)
+	submitJob(eng, api, "j1", nil)
+
+	children := api.List(kindChild, "ns")
+	if len(children) != 1 {
+		t.Fatalf("children = %d", len(children))
+	}
+	c := children[0].(*k8s.Custom)
+	if c.Spec["vni"] != "9" {
+		t.Errorf("spec = %v", c.Spec)
+	}
+	job, _ := api.Get(k8s.KindJob, "ns", "j1")
+	if !job.GetMeta().HasFinalizer("test/finalizer") {
+		t.Error("finalizer not attached")
+	}
+	if c.Meta.OwnerUID != job.GetMeta().UID {
+		t.Error("child not owned by parent")
+	}
+}
+
+func TestDecoratorSelectorFilters(t *testing.T) {
+	cfg := testCfg()
+	cfg.Selector = func(o k8s.Object) bool { return o.GetMeta().Annotations["vni"] != "" }
+	h := &scriptedHooks{desired: oneChild("c", nil)}
+	eng, api, _ := newEnv(t, cfg, h)
+	submitJob(eng, api, "plain", nil)
+	if h.syncCalls != 0 {
+		t.Errorf("sync called for non-matching parent")
+	}
+	submitJob(eng, api, "annotated", map[string]string{"vni": "true"})
+	if h.syncCalls == 0 {
+		t.Error("sync not called for matching parent")
+	}
+	if job, _ := api.Get(k8s.KindJob, "ns", "plain"); job.GetMeta().HasFinalizer("test/finalizer") {
+		t.Error("finalizer attached to non-matching parent")
+	}
+}
+
+func TestDecoratorApplyUpdatesChangedChild(t *testing.T) {
+	spec := map[string]string{"v": "1"}
+	h := &scriptedHooks{desired: oneChild("c", spec)}
+	eng, api, d := newEnv(t, testCfg(), h)
+	submitJob(eng, api, "j1", nil)
+	spec["v"] = "2" // mutate desired spec, then resync
+	d.Resync()
+	eng.RunFor(5 * time.Second)
+	c := api.List(kindChild, "ns")[0].(*k8s.Custom)
+	if c.Spec["v"] != "2" {
+		t.Errorf("child spec not updated: %v", c.Spec)
+	}
+}
+
+func TestDecoratorApplyDeletesUnlistedChild(t *testing.T) {
+	h := &scriptedHooks{desired: oneChild("keep", nil)}
+	eng, api, d := newEnv(t, testCfg(), h)
+	submitJob(eng, api, "j1", nil)
+	// Switch desired set to a different child; old one must go.
+	h.desired = oneChild("replacement", nil)
+	d.Resync()
+	eng.RunFor(5 * time.Second)
+	children := api.List(kindChild, "ns")
+	if len(children) != 1 || children[0].GetMeta().Name != "replacement" {
+		t.Errorf("children = %+v", children)
+	}
+}
+
+func TestDecoratorSyncIdempotent(t *testing.T) {
+	h := &scriptedHooks{desired: oneChild("c", map[string]string{"v": "1"})}
+	eng, api, d := newEnv(t, testCfg(), h)
+	submitJob(eng, api, "j1", nil)
+	for i := 0; i < 3; i++ {
+		d.Resync()
+		eng.RunFor(5 * time.Second)
+	}
+	if n := len(api.List(kindChild, "ns")); n != 1 {
+		t.Errorf("children after repeated sync = %d", n)
+	}
+	if h.lastChildren != 1 {
+		t.Errorf("webhook observed %d children, want 1", h.lastChildren)
+	}
+}
+
+func TestFinalizeBlocksUntilFinalized(t *testing.T) {
+	h := &scriptedHooks{desired: oneChild("c", nil), finalized: false}
+	eng, api, _ := newEnv(t, testCfg(), h)
+	submitJob(eng, api, "j1", nil)
+	api.Delete(k8s.KindJob, "ns", "j1", nil)
+	eng.RunFor(3 * time.Second)
+	if _, ok := api.Get(k8s.KindJob, "ns", "j1"); !ok {
+		t.Fatal("parent deleted while finalize pending")
+	}
+	if h.finalizeCnt == 0 {
+		t.Fatal("finalize never called")
+	}
+	h.finalized = true
+	eng.RunFor(10 * time.Second)
+	if _, ok := api.Get(k8s.KindJob, "ns", "j1"); ok {
+		t.Error("parent survives after finalized")
+	}
+	if n := len(api.List(kindChild, "ns")); n != 0 {
+		t.Errorf("children after finalize = %d", n)
+	}
+}
+
+func TestSyncErrorLeavesChildrenUntouched(t *testing.T) {
+	h := &scriptedHooks{desired: oneChild("c", nil)}
+	eng, api, d := newEnv(t, testCfg(), h)
+	submitJob(eng, api, "j1", nil)
+	h.syncErr = errors.New("endpoint down")
+	d.Resync()
+	eng.RunFor(5 * time.Second)
+	if n := len(api.List(kindChild, "ns")); n != 1 {
+		t.Errorf("children after failed sync = %d", n)
+	}
+}
+
+func TestReconcileCoalescesConcurrentEvents(t *testing.T) {
+	h := &scriptedHooks{desired: oneChild("c", nil)}
+	eng, api, _ := newEnv(t, testCfg(), h)
+	// Create triggers reconcile #1; the finalizer update triggers more
+	// watch events which must coalesce rather than explode.
+	submitJob(eng, api, "j1", nil)
+	calls := h.syncCalls
+	if calls == 0 {
+		t.Fatal("no sync calls")
+	}
+	eng.RunFor(10 * time.Second)
+	if h.syncCalls > calls+3 {
+		t.Errorf("sync storm: %d calls", h.syncCalls)
+	}
+}

@@ -1,0 +1,130 @@
+// Package metrics provides the summary statistics the evaluation figures
+// report: means, percentiles (the paper shades p10/p90), medians and
+// boxplot five-number summaries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation; 0 for n < 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between closest ranks; 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary is a distribution summary matching what each figure needs.
+type Summary struct {
+	N                int
+	Mean, Std        float64
+	Min, Max         float64
+	P10, P50, P90    float64
+	Q1, Q3           float64
+	WhiskLo, WhiskHi float64 // Tukey whiskers (1.5×IQR, clamped to data)
+}
+
+// Summarize computes a Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s := Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  StdDev(xs),
+		Min:  sorted[0],
+		Max:  sorted[len(sorted)-1],
+		P10:  Percentile(sorted, 10),
+		P50:  Percentile(sorted, 50),
+		P90:  Percentile(sorted, 90),
+		Q1:   Percentile(sorted, 25),
+		Q3:   Percentile(sorted, 75),
+	}
+	iqr := s.Q3 - s.Q1
+	s.WhiskLo, s.WhiskHi = s.Min, s.Max
+	lo, hi := s.Q1-1.5*iqr, s.Q3+1.5*iqr
+	for _, x := range sorted {
+		if x >= lo {
+			s.WhiskLo = x
+			break
+		}
+	}
+	for i := len(sorted) - 1; i >= 0; i-- {
+		if sorted[i] <= hi {
+			s.WhiskHi = sorted[i]
+			break
+		}
+	}
+	return s
+}
+
+// OverheadPct returns (a-b)/b in percent; 0 when b is 0.
+func OverheadPct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (a - b) / b * 100
+}
+
+// FormatBytes renders a message size the way OSU labels its x axis.
+func FormatBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%d MB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%d kB", n>>10)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if !almost(Mean([]float64{1, 2, 3, 4}), 2.5) {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean not 0")
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if !almost(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7)) {
+		t.Errorf("stddev = %v", StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}))
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single-element stddev not 0")
+	}
+}
+
+func TestPercentileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {10, 1.4}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want) {
+			t.Errorf("P%.0f = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile not 0")
+	}
+	if Median(xs) != 3 {
+		t.Error("median wrong")
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !almost(s.P50, 3) || !almost(s.Mean, 3) {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %v/%v", s.Q1, s.Q3)
+	}
+	if Summarize(nil).N != 0 {
+		t.Error("empty summary N != 0")
+	}
+}
+
+func TestSummarizeWhiskersExcludeOutliers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 100} // 100 is an outlier
+	s := Summarize(xs)
+	if s.WhiskHi == 100 {
+		t.Errorf("whisker includes outlier: %+v", s)
+	}
+	if s.Max != 100 {
+		t.Error("max should still be 100")
+	}
+}
+
+func TestOverheadPct(t *testing.T) {
+	if !almost(OverheadPct(103.5, 100), 3.5) {
+		t.Error("overhead wrong")
+	}
+	if OverheadPct(5, 0) != 0 {
+		t.Error("division by zero not guarded")
+	}
+	if OverheadPct(95, 100) >= 0 {
+		t.Error("negative overhead lost")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int]string{1: "1 B", 512: "512 B", 1024: "1 kB", 65536: "64 kB", 1 << 20: "1 MB"}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = x
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := Percentile(xs, pa), Percentile(xs, pb)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return va <= vb+1e-12 && va >= sorted[0]-1e-12 && vb <= sorted[len(sorted)-1]+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(31))}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Summarize ordering invariants hold for any input.
+func TestQuickSummaryOrdering(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = x
+		}
+		s := Summarize(xs)
+		ordered := s.Min <= s.P10+1e-12 && s.P10 <= s.P50+1e-12 &&
+			s.P50 <= s.P90+1e-12 && s.P90 <= s.Max+1e-12 &&
+			s.Q1 <= s.P50+1e-12 && s.P50 <= s.Q3+1e-12 &&
+			s.WhiskLo >= s.Min-1e-12 && s.WhiskHi <= s.Max+1e-12
+		return ordered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(32))}); err != nil {
+		t.Error(err)
+	}
+}

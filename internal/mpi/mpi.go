@@ -1,0 +1,106 @@
+// Package mpi provides the minimal MPI-like point-to-point layer the OSU
+// micro-benchmarks need: two ranks with matched Send/Recv over libfabric
+// domains, written in continuation-passing style because the simulation is
+// event-driven (a blocking MPI_Recv becomes a callback invoked when the
+// message arrives).
+//
+// In the paper's software stack this corresponds to Open MPI using the
+// libfabric CXI provider (Table I).
+package mpi
+
+import (
+	"errors"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/libfabric"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// ErrRankCount is returned when a communicator is not built from two ranks.
+var ErrRankCount = errors.New("mpi: exactly two ranks required")
+
+// CallOverhead models the MPI software layer cost per call (matching,
+// request bookkeeping) on top of libfabric.
+const CallOverhead = 120 * time.Nanosecond
+
+// Rank is one endpoint of a two-rank communicator.
+type Rank struct {
+	eng  *sim.Engine
+	dom  *libfabric.Domain
+	peer libfabric.Addr
+	id   int
+
+	// Unexpected-message queue and pending-receive queue implement MPI
+	// matching semantics for a single implicit tag.
+	unexpected []int // sizes of arrived-but-unmatched messages
+	pending    []func(size int)
+}
+
+// ID returns the rank number (0 or 1).
+func (r *Rank) ID() int { return r.id }
+
+// Comm is a two-rank communicator.
+type Comm struct {
+	Ranks [2]*Rank
+}
+
+// Connect builds a communicator from two opened domains, exchanging
+// addresses out of band (the runtime's address exchange, e.g. via MPI wire-
+// up or the Kubernetes service the launcher provides).
+func Connect(eng *sim.Engine, doms ...*libfabric.Domain) (*Comm, error) {
+	if len(doms) != 2 {
+		return nil, ErrRankCount
+	}
+	c := &Comm{}
+	for i, d := range doms {
+		c.Ranks[i] = &Rank{eng: eng, dom: d, id: i}
+	}
+	c.Ranks[0].peer = doms[1].Addr()
+	c.Ranks[1].peer = doms[0].Addr()
+	for i := range c.Ranks {
+		r := c.Ranks[i]
+		r.dom.OnRecv(func(_ libfabric.Addr, size int) { r.deliver(size) })
+	}
+	return c, nil
+}
+
+func (r *Rank) deliver(size int) {
+	if len(r.pending) > 0 {
+		fn := r.pending[0]
+		r.pending = r.pending[1:]
+		r.eng.After(CallOverhead, func() { fn(size) })
+		return
+	}
+	r.unexpected = append(r.unexpected, size)
+}
+
+// Isend posts a non-blocking send of size bytes to the peer; onComplete
+// fires at local completion (send buffer reusable).
+func (r *Rank) Isend(size int, onComplete func()) {
+	r.eng.After(CallOverhead, func() {
+		if err := r.dom.Send(r.peer, size, onComplete); err != nil && onComplete != nil {
+			// Surface the failure by never completing; benchmarks treat
+			// this as a hang, which tests assert against. Domain errors
+			// here mean a closed domain — a programming error.
+			panic(err)
+		}
+	})
+}
+
+// Recv posts a receive; onMsg fires with the message size when matched.
+func (r *Rank) Recv(onMsg func(size int)) {
+	if len(r.unexpected) > 0 {
+		size := r.unexpected[0]
+		r.unexpected = r.unexpected[1:]
+		r.eng.After(CallOverhead, func() { onMsg(size) })
+		return
+	}
+	r.pending = append(r.pending, onMsg)
+}
+
+// SendRecv sends size bytes and waits for the reply (the ping-pong step of
+// osu_latency): then runs with the reply size.
+func (r *Rank) SendRecv(size int, then func(replySize int)) {
+	r.Isend(size, nil)
+	r.Recv(then)
+}

@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Event is a scheduled callback in virtual time.
+type Event struct {
+	at     Time
+	seq    uint64 // tiebreaker: FIFO among events at the same instant
+	fn     func()
+	index  int // heap index; -1 when not queued
+	cancel bool
+}
+
+// Cancel marks the event so its callback will not run. Safe to call at most
+// once, before or after the event fires (firing a cancelled event is a
+// no-op; cancelling a fired event is a no-op).
+func (e *Event) Cancel() { e.cancel = true }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; simulated concurrency is expressed by scheduling events,
+// not by goroutines, which keeps runs deterministic.
+type Engine struct {
+	now   Time
+	queue eventQueue
+	seq   uint64
+	rng   *rand.Rand
+	// Steps counts executed events, useful as a runaway guard in tests.
+	Steps uint64
+}
+
+// NewEngine returns an engine whose randomness derives from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now implements Clock.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic randomness source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a logic error in a simulated component.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current time. Negative d is clamped
+// to zero so jittered delays cannot travel backwards.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.Steps++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then advances the clock to
+// exactly deadline (even if no event was scheduled there). Events scheduled
+// later remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for e.queue.Len() > 0 {
+		next := e.peek()
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d.
+func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Pending returns the number of queued (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) peek() *Event {
+	// Skip cancelled heads lazily.
+	for e.queue.Len() > 0 {
+		head := e.queue[0]
+		if head.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return head
+	}
+	return nil
+}
+
+// Jitter returns a duration drawn uniformly from [d*(1-frac), d*(1+frac)].
+// It is the standard way simulated components add run-to-run variability.
+func (e *Engine) Jitter(d Duration, frac float64) Duration {
+	if frac <= 0 || d <= 0 {
+		return d
+	}
+	lo := float64(d) * (1 - frac)
+	hi := float64(d) * (1 + frac)
+	return Duration(lo + e.rng.Float64()*(hi-lo))
+}
+
+// Normal returns a normally distributed duration with the given mean and
+// standard deviation, clamped at zero.
+func (e *Engine) Normal(mean, stddev Duration) Duration {
+	v := float64(mean) + e.rng.NormFloat64()*float64(stddev)
+	if v < 0 {
+		v = 0
+	}
+	return Duration(v)
+}

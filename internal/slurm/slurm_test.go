@@ -1,0 +1,155 @@
+package slurm
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+)
+
+type env struct {
+	eng  *sim.Engine
+	kern *nsmodel.Kernel
+	db   *vnidb.DB
+	ctl  *Controller
+	devs []*cxi.Device
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	kern := nsmodel.NewKernel()
+	fcfg := fabric.DefaultConfig()
+	fcfg.JitterFrac, fcfg.RunSigma = 0, 0
+	sw := fabric.NewSwitch("s", eng, fcfg)
+	devA := cxi.NewDevice("cxi0", eng, kern, sw, cxi.DefaultDeviceConfig())
+	devB := cxi.NewDevice("cxi1", eng, kern, sw, cxi.DefaultDeviceConfig())
+	root, err := kern.Spawn("slurmd", 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := vnidb.Open(vnidb.Options{MinVNI: 700, MaxVNI: 704, Quarantine: sim.Duration(time.Second)})
+	ctl := NewController(db, eng, root.PID, []*Node{
+		{Name: "nid0001", Device: devA},
+		{Name: "nid0002", Device: devB},
+	})
+	return &env{eng: eng, kern: kern, db: db, ctl: ctl, devs: []*cxi.Device{devA, devB}}
+}
+
+func TestSubmitCreatesServicesAndVNI(t *testing.T) {
+	e := newEnv(t)
+	job, err := e.ctl.Submit(1000, 1000, []string{"nid0001", "nid0002"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateRunning || job.VNI < 700 {
+		t.Fatalf("job = %+v", job)
+	}
+	// The user authenticates by UID on both nodes.
+	for i, dev := range e.devs {
+		proc, _ := e.kern.Spawn("rank", 1000, 1000, 0, 0)
+		svc, ok := e.ctl.ServiceOn(job.ID, []string{"nid0001", "nid0002"}[i])
+		if !ok {
+			t.Fatalf("no service on node %d", i)
+		}
+		ep, err := dev.EPAlloc(proc.PID, svc, job.VNI, fabric.TCDedicated)
+		if err != nil {
+			t.Fatalf("node %d EPAlloc: %v", i, err)
+		}
+		ep.Close()
+	}
+	// Another user is rejected.
+	other, _ := e.kern.Spawn("other", 2000, 2000, 0, 0)
+	svc, _ := e.ctl.ServiceOn(job.ID, "nid0001")
+	if _, err := e.devs[0].EPAlloc(other.PID, svc, job.VNI, fabric.TCDedicated); !errors.Is(err, cxi.ErrNotAuthorized) {
+		t.Errorf("foreign user: %v", err)
+	}
+	if err := e.ctl.Complete(job.ID); err != nil {
+		t.Fatal(err)
+	}
+	if e.ctl.RunningJobs() != 0 {
+		t.Error("job table not drained")
+	}
+	if st := e.db.Stats(); st.Allocated != 0 || st.Quarantined != 1 {
+		t.Errorf("db = %+v", st)
+	}
+	for _, dev := range e.devs {
+		if len(dev.SvcList()) != 1 {
+			t.Error("services leaked")
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	e := newEnv(t)
+	if _, err := e.ctl.Submit(1000, 1000, nil); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("no nodes: %v", err)
+	}
+	if _, err := e.ctl.Submit(1000, 1000, []string{"ghost"}); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestCompleteUnknownJob(t *testing.T) {
+	e := newEnv(t)
+	if err := e.ctl.Complete(999); !errors.Is(err, ErrNoSuchJob) {
+		t.Errorf("complete unknown: %v", err)
+	}
+}
+
+func TestCompleteRefusedWhileEndpointsOpen(t *testing.T) {
+	e := newEnv(t)
+	job, _ := e.ctl.Submit(1000, 1000, []string{"nid0001"})
+	proc, _ := e.kern.Spawn("rank", 1000, 1000, 0, 0)
+	svc, _ := e.ctl.ServiceOn(job.ID, "nid0001")
+	ep, err := e.devs[0].EPAlloc(proc.PID, svc, job.VNI, fabric.TCDedicated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ctl.Complete(job.ID); err == nil {
+		t.Fatal("complete succeeded with open endpoints")
+	}
+	ep.Close()
+	if err := e.ctl.Complete(job.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJobsGetDistinctVNIs(t *testing.T) {
+	e := newEnv(t)
+	seen := map[fabric.VNI]bool{}
+	for i := 0; i < 5; i++ {
+		job, err := e.ctl.Submit(nsmodel.UID(1000+i), 1000, []string{"nid0001"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[job.VNI] {
+			t.Fatal("duplicate VNI across slurm jobs")
+		}
+		seen[job.VNI] = true
+	}
+	// Pool (5) exhausted: next submission fails cleanly, nothing leaks.
+	if _, err := e.ctl.Submit(9000, 9000, []string{"nid0001"}); err == nil {
+		t.Error("submit beyond pool succeeded")
+	}
+	if got := len(e.devs[0].SvcList()); got != 6 { // default + 5 jobs
+		t.Errorf("services = %d, want 6", got)
+	}
+}
+
+func TestJobSnapshot(t *testing.T) {
+	e := newEnv(t)
+	job, _ := e.ctl.Submit(1000, 1000, []string{"nid0001"})
+	snap, ok := e.ctl.Job(job.ID)
+	if !ok || snap.User != 1000 || snap.State != StateRunning {
+		t.Errorf("snapshot = %+v ok=%v", snap, ok)
+	}
+	if _, ok := e.ctl.Job(999); ok {
+		t.Error("ghost job found")
+	}
+}

@@ -1,0 +1,178 @@
+// Package stack assembles the complete simulated deployment: the kernel
+// namespace model, the Slingshot fabric with one CXI NIC per node, the CNI
+// chain (overlay + CXI plugin) and container runtime on each node, the
+// Kubernetes control plane, and — when enabled — the VNI Service. It is the
+// single entry point used by examples, experiments and benchmarks.
+package stack
+
+import (
+	"fmt"
+
+	"github.com/caps-sim/shs-k8s/internal/cni"
+	"github.com/caps-sim/shs-k8s/internal/container"
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+	"github.com/caps-sim/shs-k8s/internal/vnisvc"
+)
+
+// Options configure a deployment.
+type Options struct {
+	Seed  int64
+	Nodes int
+	// VNIService installs the paper's integration (vni:true runs); when
+	// false the cluster is the vni:false baseline with only the globally
+	// accessible default VNI.
+	VNIService bool
+	Fabric     fabric.Config
+	Device     cxi.DeviceConfig
+	Cluster    k8s.ClusterConfig
+	CNI        cni.CXIPluginConfig
+	Container  container.Config
+	VNI        vnisvc.Config
+	DB         vnidb.Options
+}
+
+// DefaultOptions mirrors the paper's two-node OpenCUBE deployment.
+func DefaultOptions() Options {
+	cl := k8s.DefaultClusterConfig()
+	return Options{
+		Seed:       1,
+		Nodes:      2,
+		VNIService: true,
+		Fabric:     fabric.DefaultConfig(),
+		Device:     cxi.DefaultDeviceConfig(),
+		Cluster:    cl,
+		CNI:        cni.DefaultCXIPluginConfig(),
+		Container:  container.DefaultConfig(),
+		VNI:        vnisvc.DefaultConfig(),
+		DB:         vnidb.DefaultOptions(),
+	}
+}
+
+// Node bundles one worker's per-node components.
+type Node struct {
+	Name    string
+	Device  *cxi.Device
+	Runtime *container.Runtime
+	CXICNI  *cni.CXIPlugin
+	Overlay *cni.OverlayPlugin
+}
+
+// Stack is a fully assembled deployment.
+type Stack struct {
+	Opts    Options
+	Eng     *sim.Engine
+	Kernel  *nsmodel.Kernel
+	Switch  *fabric.Switch
+	Cluster *k8s.Cluster
+	Nodes   []*Node
+	DB      *vnidb.DB
+	// VNISvc is nil when Options.VNIService is false.
+	VNISvc *vnisvc.Service
+	// CNIRoot is the privileged process CNI plugins run as.
+	CNIRoot nsmodel.PID
+}
+
+// New assembles a deployment.
+func New(opts Options) *Stack {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 2
+	}
+	eng := sim.NewEngine(opts.Seed)
+	kern := nsmodel.NewKernel()
+	sw := fabric.NewSwitch("rosetta0", eng, opts.Fabric)
+	root, err := kern.Spawn("cni-root", 0, 0, 0, 0)
+	if err != nil {
+		panic(err) // fresh kernel: cannot fail
+	}
+
+	s := &Stack{Opts: opts, Eng: eng, Kernel: kern, Switch: sw, CNIRoot: root.PID}
+	s.DB = vnidb.Open(opts.DB)
+
+	names := make([]string, opts.Nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("node%d", i)
+	}
+	opts.Cluster.NodeNames = names
+
+	// Per-node data plane. The CXI CNI plugin needs the API server, which
+	// is created with the cluster, which in turn needs each node's
+	// runtime — a construction cycle broken by lazyRuntime, a dispatcher
+	// resolved on first use (no pod can reach a kubelet before New
+	// returns, so the indirection is safe).
+	for i, name := range names {
+		dev := cxi.NewDevice(fmt.Sprintf("cxi%d", i), eng, kern, sw, opts.Device)
+		over := cni.NewOverlayPlugin(eng, name, fmt.Sprintf("10.42.%d", i))
+		s.Nodes = append(s.Nodes, &Node{Name: name, Device: dev, Overlay: over})
+	}
+
+	cluster := k8s.NewCluster(eng, opts.Cluster, func(nodeName string) k8s.Runtime {
+		return &lazyRuntime{stack: s, node: nodeName}
+	})
+	s.Cluster = cluster
+
+	for _, node := range s.Nodes {
+		cxip := cni.NewCXIPlugin(eng, cluster.API, node.Device, root.PID, opts.CNI)
+		node.CXICNI = cxip
+		chain := cni.NewChain(eng, 6e6 /* 6ms per plugin exec */, node.Overlay, cxip)
+		node.Runtime = container.NewRuntime(eng, kern, chain, opts.Container, node.Name)
+	}
+
+	if opts.VNIService {
+		s.VNISvc = vnisvc.Install(cluster.API, cluster.JobCtl, s.DB, opts.VNI)
+	}
+	// Let node registration settle.
+	eng.RunFor(1e9)
+	return s
+}
+
+// lazyRuntime defers to the node's real runtime, which is constructed just
+// after the cluster (see New). No pod can reach a kubelet before New
+// returns, so the indirection is safe.
+type lazyRuntime struct {
+	stack *Stack
+	node  string
+}
+
+func (l *lazyRuntime) resolve() *container.Runtime {
+	for _, n := range l.stack.Nodes {
+		if n.Name == l.node {
+			return n.Runtime
+		}
+	}
+	panic("stack: unknown node " + l.node)
+}
+
+// SetupPod implements k8s.Runtime.
+func (l *lazyRuntime) SetupPod(pod *k8s.Pod, done func(error)) { l.resolve().SetupPod(pod, done) }
+
+// TeardownPod implements k8s.Runtime.
+func (l *lazyRuntime) TeardownPod(pod *k8s.Pod, done func()) { l.resolve().TeardownPod(pod, done) }
+
+// NodeByName returns the node bundle.
+func (s *Stack) NodeByName(name string) (*Node, bool) {
+	for _, n := range s.Nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return nil, false
+}
+
+// RuntimeForPod returns the runtime hosting a scheduled pod.
+func (s *Stack) RuntimeForPod(namespace, name string) (*container.Runtime, bool) {
+	obj, ok := s.Cluster.API.Get(k8s.KindPod, namespace, name)
+	if !ok {
+		return nil, false
+	}
+	pod := obj.(*k8s.Pod)
+	node, ok := s.NodeByName(pod.Spec.NodeName)
+	if !ok {
+		return nil, false
+	}
+	return node.Runtime, true
+}

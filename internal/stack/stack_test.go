@@ -1,0 +1,99 @@
+package stack
+
+import (
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/vniapi"
+)
+
+func TestDefaultStackShape(t *testing.T) {
+	st := New(DefaultOptions())
+	if len(st.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2 (OpenCUBE pilot)", len(st.Nodes))
+	}
+	if st.VNISvc == nil {
+		t.Fatal("VNI service not installed by default")
+	}
+	for _, n := range st.Nodes {
+		if n.Device == nil || n.Runtime == nil || n.CXICNI == nil || n.Overlay == nil {
+			t.Fatalf("node %s incompletely wired: %+v", n.Name, n)
+		}
+	}
+	if _, ok := st.NodeByName("node0"); !ok {
+		t.Error("NodeByName(node0) failed")
+	}
+	if _, ok := st.NodeByName("ghost"); ok {
+		t.Error("NodeByName(ghost) succeeded")
+	}
+}
+
+func TestStackWithoutVNIService(t *testing.T) {
+	opts := DefaultOptions()
+	opts.VNIService = false
+	st := New(opts)
+	if st.VNISvc != nil {
+		t.Error("VNI service installed despite VNIService=false")
+	}
+}
+
+func TestStackNodesScale(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Nodes = 4
+	st := New(opts)
+	if len(st.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(st.Nodes))
+	}
+	// Distinct fabric addresses.
+	seen := map[uint32]bool{}
+	for _, n := range st.Nodes {
+		a := uint32(n.Device.Addr())
+		if seen[a] {
+			t.Fatal("duplicate fabric address")
+		}
+		seen[a] = true
+	}
+}
+
+func TestRuntimeForPod(t *testing.T) {
+	st := New(DefaultOptions())
+	st.Cluster.CreateNamespace("t")
+	job := k8s.EchoJob("t", "j", map[string]string{vniapi.Annotation: "true"})
+	job.Spec.Template.RunDuration = 30 * time.Second
+	job.Spec.DeleteAfterFinished = false
+	st.Cluster.SubmitJob(job, nil)
+	st.Eng.RunFor(10 * time.Second)
+	rt, ok := st.RuntimeForPod("t", "j-0")
+	if !ok {
+		t.Fatal("RuntimeForPod failed for scheduled pod")
+	}
+	if _, sbOK := rt.SandboxFor("t", "j-0"); !sbOK {
+		t.Error("sandbox missing for running pod")
+	}
+	if _, ok := st.RuntimeForPod("t", "ghost"); ok {
+		t.Error("RuntimeForPod(ghost) succeeded")
+	}
+}
+
+func TestStackDeterministicForSeed(t *testing.T) {
+	run := func(seed int64) string {
+		opts := DefaultOptions()
+		opts.Seed = seed
+		st := New(opts)
+		st.Cluster.CreateNamespace("t")
+		st.Cluster.SubmitJob(k8s.EchoJob("t", "j", map[string]string{vniapi.Annotation: "true"}), nil)
+		st.Eng.RunFor(20 * time.Second)
+		out := ""
+		for _, e := range st.DB.Audit() {
+			out += string(e.Op) + e.At.String() + "|"
+		}
+		return out
+	}
+	if run(7) != run(7) {
+		t.Error("same seed produced different traces")
+	}
+	if run(7) == run(8) {
+		t.Error("different seeds produced identical traces")
+	}
+}

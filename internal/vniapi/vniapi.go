@@ -1,0 +1,70 @@
+// Package vniapi holds the shared vocabulary of the VNI integration: the
+// job annotation users set, the custom-resource kinds the VNI controller
+// manages, and the spec keys the CXI CNI plugin reads. It exists so the CNI
+// plugin and the VNI service agree on names without depending on each
+// other's implementations.
+package vniapi
+
+import (
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// Annotation is the job annotation carrying the VNI request:
+// "true" requests a fresh Per-Resource VNI; any other non-empty value names
+// a VNI Claim to redeem (paper §III-C1).
+const Annotation = "vni"
+
+// AnnotationValueTrue requests the Per-Resource VNI model.
+const AnnotationValueTrue = "true"
+
+// Custom resource kinds managed by the VNI controller.
+const (
+	KindVNI      k8s.Kind = "VNI"
+	KindVniClaim k8s.Kind = "VniClaim"
+)
+
+// Spec keys on VNI CRD instances.
+const (
+	SpecVNI     = "vni"     // decimal VNI value
+	SpecJob     = "job"     // owning/attached job name
+	SpecClaim   = "claim"   // claim name, for claim-backed VNIs
+	SpecVirtual = "virtual" // "true" on non-owning (virtual) VNI objects
+)
+
+// Spec keys on VniClaim CRD instances. Jobs redeem a claim by the claim
+// *object's* name (paper Listing 3); spec.name (Listing 2) is a
+// human-readable label.
+const (
+	ClaimSpecName = "name"
+)
+
+// Finalizers.
+const (
+	// JobFinalizer is placed on vni-annotated jobs so the controller's
+	// /finalize webhook runs (releasing or detaching the VNI) before the
+	// job disappears.
+	JobFinalizer = "vni.shs.hpe.com/finalizer"
+	// ClaimFinalizer blocks claim deletion until all users are gone.
+	ClaimFinalizer = "vniclaim.shs.hpe.com/finalizer"
+)
+
+// MaxGracePeriod is the termination grace period ceiling the CXI CNI plugin
+// enforces for VNI-requesting pods; it matches the VNI quarantine window so
+// a straggling pod can never outlive its VNI's quarantine (paper §III-C1).
+const MaxGracePeriod = sim.Duration(30 * time.Second)
+
+// Requested reports whether the object requests VNI integration, and the
+// claim name if the claim model is selected.
+func Requested(annotations map[string]string) (requested bool, claim string) {
+	v, ok := annotations[Annotation]
+	if !ok || v == "" {
+		return false, ""
+	}
+	if v == AnnotationValueTrue {
+		return true, ""
+	}
+	return true, v
+}

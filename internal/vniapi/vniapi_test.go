@@ -1,0 +1,42 @@
+package vniapi
+
+import "testing"
+
+func TestRequested(t *testing.T) {
+	cases := []struct {
+		ann       map[string]string
+		requested bool
+		claim     string
+	}{
+		{nil, false, ""},
+		{map[string]string{}, false, ""},
+		{map[string]string{"vni": ""}, false, ""},
+		{map[string]string{"vni": "true"}, true, ""},
+		{map[string]string{"vni": "my-claim"}, true, "my-claim"},
+		{map[string]string{"other": "true"}, false, ""},
+	}
+	for _, c := range cases {
+		req, claim := Requested(c.ann)
+		if req != c.requested || claim != c.claim {
+			t.Errorf("Requested(%v) = (%v, %q), want (%v, %q)",
+				c.ann, req, claim, c.requested, c.claim)
+		}
+	}
+}
+
+func TestConstantsStable(t *testing.T) {
+	// The annotation and spec keys are the user-facing interface (paper
+	// Listings 1-3); changing them silently would break deployments.
+	if Annotation != "vni" {
+		t.Errorf("Annotation = %q", Annotation)
+	}
+	if string(KindVNI) != "VNI" || string(KindVniClaim) != "VniClaim" {
+		t.Error("CRD kind names changed")
+	}
+	if SpecVNI != "vni" || SpecJob != "job" || SpecClaim != "claim" || SpecVirtual != "virtual" {
+		t.Error("spec keys changed")
+	}
+	if MaxGracePeriod.Seconds() != 30 {
+		t.Errorf("MaxGracePeriod = %v, paper mandates 30s", MaxGracePeriod)
+	}
+}

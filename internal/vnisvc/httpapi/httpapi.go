@@ -1,0 +1,222 @@
+// Package httpapi exposes the VNI Endpoint over HTTP with Metacontroller's
+// wire format: POST /sync and POST /finalize carry the observed parent and
+// its children, and receive the desired child list back. This is the
+// deployable form of the endpoint (cmd/vnisvc); the in-simulation cluster
+// wires the same hook logic directly (internal/vnisvc).
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/metactl"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/vniapi"
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+	"github.com/caps-sim/shs-k8s/internal/vnisvc"
+)
+
+// wallClock adapts wall time to the sim.Clock the endpoint expects.
+type wallClock struct{ start time.Time }
+
+func (c wallClock) Now() sim.Time { return sim.Time(time.Since(c.start)) }
+
+// ParentRef is the wire form of the watched parent object.
+type ParentRef struct {
+	Kind        string            `json:"kind"`
+	Namespace   string            `json:"namespace"`
+	Name        string            `json:"name"`
+	UID         string            `json:"uid"`
+	Annotations map[string]string `json:"annotations,omitempty"`
+	Spec        map[string]string `json:"spec,omitempty"`
+	Deleting    bool              `json:"deleting,omitempty"`
+}
+
+// ChildRef is the wire form of a VNI CRD child.
+type ChildRef struct {
+	Name string            `json:"name"`
+	Spec map[string]string `json:"spec"`
+}
+
+// SyncRequest is the webhook request body.
+type SyncRequest struct {
+	Parent   ParentRef  `json:"parent"`
+	Children []ChildRef `json:"children,omitempty"`
+}
+
+// SyncResponse is the /sync response body.
+type SyncResponse struct {
+	Children []ChildRef `json:"children"`
+}
+
+// FinalizeResponse is the /finalize response body.
+type FinalizeResponse struct {
+	Finalized bool       `json:"finalized"`
+	Children  []ChildRef `json:"children"`
+}
+
+// Server is the HTTP VNI endpoint.
+type Server struct {
+	ep  *vnisvc.Endpoint
+	mux *http.ServeMux
+}
+
+// NewServer builds the endpoint server over db.
+func NewServer(db *vnidb.DB) *Server {
+	s := &Server{ep: vnisvc.NewEndpoint(db, wallClock{start: time.Now()}), mux: http.NewServeMux()}
+	s.mux.HandleFunc("/sync", s.handleSync)
+	s.mux.HandleFunc("/finalize", s.handleFinalize)
+	s.mux.HandleFunc("/vnis", s.handleVNIs)
+	s.mux.HandleFunc("/audit", s.handleAudit)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Endpoint returns the wrapped endpoint (for tests).
+func (s *Server) Endpoint() *vnisvc.Endpoint { return s.ep }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// toObject converts the wire parent to the typed object the hooks expect.
+func (p ParentRef) toObject() (k8s.Object, error) {
+	meta := k8s.Meta{
+		Kind:        k8s.Kind(p.Kind),
+		Namespace:   p.Namespace,
+		Name:        p.Name,
+		UID:         k8s.UID(p.UID),
+		Annotations: p.Annotations,
+		Deleting:    p.Deleting,
+	}
+	switch k8s.Kind(p.Kind) {
+	case k8s.KindJob:
+		return &k8s.Job{Meta: meta}, nil
+	case vniapi.KindVniClaim:
+		return &k8s.Custom{Meta: meta, Spec: p.Spec}, nil
+	default:
+		return nil, fmt.Errorf("unsupported parent kind %q", p.Kind)
+	}
+}
+
+func (s *Server) hooksFor(kind string) (metactl.Hooks, error) {
+	switch k8s.Kind(kind) {
+	case k8s.KindJob:
+		return s.ep.JobHooks(), nil
+	case vniapi.KindVniClaim:
+		return s.ep.ClaimHooks(), nil
+	default:
+		return nil, fmt.Errorf("unsupported parent kind %q", kind)
+	}
+}
+
+func decodeRequest(r *http.Request) (metactl.SyncRequest, string, error) {
+	var wire SyncRequest
+	if err := json.NewDecoder(r.Body).Decode(&wire); err != nil {
+		return metactl.SyncRequest{}, "", fmt.Errorf("decoding request: %w", err)
+	}
+	parent, err := wire.Parent.toObject()
+	if err != nil {
+		return metactl.SyncRequest{}, "", err
+	}
+	req := metactl.SyncRequest{Parent: parent}
+	for _, c := range wire.Children {
+		req.Children = append(req.Children, &k8s.Custom{
+			Meta: k8s.Meta{Kind: vniapi.KindVNI, Namespace: wire.Parent.Namespace, Name: c.Name},
+			Spec: c.Spec,
+		})
+	}
+	return req, wire.Parent.Kind, nil
+}
+
+func toChildRefs(children []*k8s.Custom) []ChildRef {
+	out := make([]ChildRef, 0, len(children))
+	for _, c := range children {
+		out = append(out, ChildRef{Name: c.Meta.Name, Spec: c.Spec})
+	}
+	return out
+}
+
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	req, kind, err := decodeRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hooks, err := s.hooksFor(kind)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := hooks.Sync(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, SyncResponse{Children: toChildRefs(resp.Children)})
+}
+
+func (s *Server) handleFinalize(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	req, kind, err := decodeRequest(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hooks, err := s.hooksFor(kind)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := hooks.Finalize(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, FinalizeResponse{Finalized: resp.Finalized, Children: toChildRefs(resp.Children)})
+}
+
+// vniRow is the wire form of one allocation table row.
+type vniRow struct {
+	VNI         uint32   `json:"vni"`
+	Owner       string   `json:"owner"`
+	State       string   `json:"state"`
+	Users       []string `json:"users,omitempty"`
+	AllocatedAt string   `json:"allocated_at"`
+}
+
+func (s *Server) handleVNIs(w http.ResponseWriter, _ *http.Request) {
+	var rows []vniRow
+	_ = s.ep.DB().View(func(tx *vnidb.Tx) error {
+		for _, r := range tx.List() {
+			rows = append(rows, vniRow{
+				VNI: uint32(r.VNI), Owner: r.Owner, State: r.State.String(),
+				Users: r.Users, AllocatedAt: r.AllocatedAt.String(),
+			})
+		}
+		return nil
+	})
+	writeJSON(w, rows)
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.ep.DB().Audit())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,200 @@
+package httpapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/vniapi"
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+)
+
+func newServer() *Server {
+	return NewServer(vnidb.Open(vnidb.Options{MinVNI: 100, MaxVNI: 199, Quarantine: time.Second}))
+}
+
+func post(t *testing.T, srv *Server, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(raw))
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	return w
+}
+
+func jobParent(name, uid, annotation string) ParentRef {
+	return ParentRef{
+		Kind: "Job", Namespace: "ns", Name: name, UID: uid,
+		Annotations: map[string]string{vniapi.Annotation: annotation},
+	}
+}
+
+func TestSyncAllocatesVNIForJob(t *testing.T) {
+	srv := newServer()
+	w := post(t, srv, "/sync", SyncRequest{Parent: jobParent("j1", "u1", "true")})
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp SyncResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Children) != 1 {
+		t.Fatalf("children = %+v", resp.Children)
+	}
+	child := resp.Children[0]
+	if child.Spec[vniapi.SpecVNI] != "100" || child.Spec[vniapi.SpecJob] != "j1" {
+		t.Errorf("child = %+v", child)
+	}
+	// Idempotent: same parent, same VNI.
+	w2 := post(t, srv, "/sync", SyncRequest{Parent: jobParent("j1", "u1", "true")})
+	var resp2 SyncResponse
+	_ = json.Unmarshal(w2.Body.Bytes(), &resp2)
+	if resp2.Children[0].Spec[vniapi.SpecVNI] != "100" {
+		t.Error("re-sync changed VNI")
+	}
+}
+
+func TestFinalizeReleasesVNI(t *testing.T) {
+	srv := newServer()
+	post(t, srv, "/sync", SyncRequest{Parent: jobParent("j1", "u1", "true")})
+	p := jobParent("j1", "u1", "true")
+	p.Deleting = true
+	w := post(t, srv, "/finalize", SyncRequest{Parent: p})
+	var resp FinalizeResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Finalized {
+		t.Error("finalize did not complete")
+	}
+	if st := srv.Endpoint().DB().Stats(); st.Allocated != 0 || st.Quarantined != 1 {
+		t.Errorf("db stats = %+v", st)
+	}
+}
+
+func TestClaimLifecycleOverHTTP(t *testing.T) {
+	srv := newServer()
+	claim := ParentRef{Kind: string(vniapi.KindVniClaim), Namespace: "ns", Name: "c1", UID: "cu",
+		Spec: map[string]string{vniapi.ClaimSpecName: "shared"}}
+	w := post(t, srv, "/sync", SyncRequest{Parent: claim})
+	if w.Code != http.StatusOK {
+		t.Fatalf("claim sync: %d %s", w.Code, w.Body)
+	}
+	// Job redeems the claim.
+	w = post(t, srv, "/sync", SyncRequest{Parent: jobParent("user-job", "ju", "c1")})
+	if w.Code != http.StatusOK {
+		t.Fatalf("redeem sync: %d %s", w.Code, w.Body)
+	}
+	var resp SyncResponse
+	_ = json.Unmarshal(w.Body.Bytes(), &resp)
+	if resp.Children[0].Spec[vniapi.SpecVirtual] != "true" {
+		t.Errorf("redeeming child not virtual: %+v", resp.Children[0])
+	}
+	// Claim finalize blocked while the user remains.
+	claim.Deleting = true
+	w = post(t, srv, "/finalize", SyncRequest{Parent: claim})
+	var fin FinalizeResponse
+	_ = json.Unmarshal(w.Body.Bytes(), &fin)
+	if fin.Finalized {
+		t.Error("claim finalized with live user")
+	}
+	// Remove the user, then finalize succeeds.
+	jp := jobParent("user-job", "ju", "c1")
+	jp.Deleting = true
+	post(t, srv, "/finalize", SyncRequest{Parent: jp})
+	w = post(t, srv, "/finalize", SyncRequest{Parent: claim})
+	_ = json.Unmarshal(w.Body.Bytes(), &fin)
+	if !fin.Finalized {
+		t.Error("claim not finalized after user removal")
+	}
+}
+
+func TestSyncMissingClaimConflicts(t *testing.T) {
+	srv := newServer()
+	w := post(t, srv, "/sync", SyncRequest{Parent: jobParent("j", "u", "ghost-claim")})
+	if w.Code != http.StatusConflict {
+		t.Errorf("status = %d, want 409", w.Code)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := newServer()
+	// GET on webhook.
+	req := httptest.NewRequest(http.MethodGet, "/sync", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /sync = %d", w.Code)
+	}
+	// Garbage body.
+	req = httptest.NewRequest(http.MethodPost, "/sync", bytes.NewReader([]byte("{")))
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("garbage body = %d", w.Code)
+	}
+	// Unknown parent kind.
+	w = post(t, srv, "/sync", SyncRequest{Parent: ParentRef{Kind: "Pod", Namespace: "ns", Name: "x"}})
+	if w.Code != http.StatusBadRequest {
+		t.Errorf("unknown kind = %d", w.Code)
+	}
+}
+
+func TestVNIsAndAuditEndpoints(t *testing.T) {
+	srv := newServer()
+	post(t, srv, "/sync", SyncRequest{Parent: jobParent("j1", "u1", "true")})
+	req := httptest.NewRequest(http.MethodGet, "/vnis", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("/vnis = %d", w.Code)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0]["state"] != "allocated" {
+		t.Errorf("rows = %+v", rows)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/audit", nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || !bytes.Contains(w.Body.Bytes(), []byte("acquire")) {
+		t.Errorf("/audit = %d %s", w.Code, w.Body)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Errorf("/healthz = %d", w.Code)
+	}
+}
+
+func TestHTTPServerEndToEnd(t *testing.T) {
+	// Full network round trip through a real listener, as cmd/vnisvc runs.
+	srv := httptest.NewServer(newServer())
+	defer srv.Close()
+	body, _ := json.Marshal(SyncRequest{Parent: jobParent("j1", "u1", "true")})
+	resp, err := http.Post(srv.URL+"/sync", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var sr SyncResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Children) != 1 {
+		t.Errorf("children = %+v", sr.Children)
+	}
+}
