@@ -11,6 +11,7 @@ package shsk8s
 import (
 	"fmt"
 	"os"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -21,10 +22,39 @@ import (
 	"github.com/caps-sim/shs-k8s/internal/k8s"
 	"github.com/caps-sim/shs-k8s/internal/libcxi"
 	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/scenario"
 	"github.com/caps-sim/shs-k8s/internal/sim"
 	"github.com/caps-sim/shs-k8s/internal/stack"
 	"github.com/caps-sim/shs-k8s/internal/vnidb"
 )
+
+// TestScenarioQuickstartSmoke runs the bundled quickstart scenario (the
+// shssim front door) twice: it must pass every assertion and produce
+// identical results both times — the determinism contract every other
+// scenario builds on.
+func TestScenarioQuickstartSmoke(t *testing.T) {
+	var results []*scenario.Result
+	for i := 0; i < 2; i++ {
+		sc, err := scenario.ParseFile("scenarios/quickstart.yaml")
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		res := scenario.Run(sc)
+		if res.Err != nil {
+			t.Fatalf("run: %v", res.Err)
+		}
+		if !res.Passed() {
+			for _, a := range res.Asserts {
+				t.Logf("%s", a)
+			}
+			t.Fatal("quickstart scenario failed")
+		}
+		results = append(results, res)
+	}
+	if !reflect.DeepEqual(results[0].Asserts, results[1].Asserts) {
+		t.Errorf("runs differ:\n%v\n%v", results[0].Asserts, results[1].Asserts)
+	}
+}
 
 var printOnce sync.Map
 

@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -23,36 +25,71 @@ import (
 	"github.com/caps-sim/shs-k8s/internal/vnisvc"
 )
 
-func main() {
-	jobs := flag.Int("jobs", 6, "number of vni:true jobs to submit")
-	claim := flag.String("claim", "demo", "claim name shared by two extra jobs")
-	seed := flag.Int64("seed", 1, "RNG seed")
-	file := flag.String("f", "", "submit objects from a YAML manifest (paper Listings 1-3) instead of the built-in demo")
-	flag.Parse()
+// config captures the command line.
+type config struct {
+	Jobs  int
+	Claim string
+	Seed  int64
+	File  string
+}
 
-	opts := stack.DefaultOptions()
-	opts.Seed = *seed
-	st := stack.New(opts)
-	if *file != "" {
-		runManifest(st, *file)
-		return
+// parseFlags parses the command line into a config.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("shscluster", flag.ContinueOnError)
+	cfg := config{}
+	fs.IntVar(&cfg.Jobs, "jobs", 6, "number of vni:true jobs to submit")
+	fs.StringVar(&cfg.Claim, "claim", "demo", "claim name shared by two extra jobs")
+	fs.Int64Var(&cfg.Seed, "seed", 1, "RNG seed")
+	fs.StringVar(&cfg.File, "f", "", "submit objects from a YAML manifest (paper Listings 1-3) instead of the built-in demo")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
 	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	if err != nil {
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, cfg); err != nil {
+		log.Fatalf("shscluster: %v", err)
+	}
+}
+
+// run assembles the stack and executes the selected mode.
+func run(w io.Writer, cfg config) error {
+	opts := stack.DefaultOptions()
+	opts.Seed = cfg.Seed
+	st := stack.New(opts)
+	if cfg.File != "" {
+		return runManifest(w, st, cfg.File)
+	}
+	runDemo(w, st, cfg)
+	return nil
+}
+
+// runDemo submits the built-in job mix and prints a cluster timeline.
+func runDemo(w io.Writer, st *stack.Stack, cfg config) {
 	st.Cluster.CreateNamespace("demo")
 
-	fmt.Println("== Slingshot-K8s demo cluster (2 nodes, VNI service installed) ==")
+	fmt.Fprintln(w, "== Slingshot-K8s demo cluster (2 nodes, VNI service installed) ==")
 
 	// A claim shared by two jobs (paper Listings 2+3).
-	st.Cluster.API.Create(vnisvc.NewClaim("demo", *claim, *claim), nil)
+	st.Cluster.API.Create(vnisvc.NewClaim("demo", cfg.Claim, cfg.Claim), nil)
 	st.Eng.RunFor(2 * time.Second)
 	for i := 0; i < 2; i++ {
 		job := k8s.EchoJob("demo", fmt.Sprintf("claim-job-%d", i),
-			map[string]string{vniapi.Annotation: *claim})
+			map[string]string{vniapi.Annotation: cfg.Claim})
 		job.Spec.Template.RunDuration = 8 * time.Second
 		job.Spec.DeleteAfterFinished = false
 		st.Cluster.SubmitJob(job, nil)
 	}
 	// Per-resource VNI jobs (paper Listing 1).
-	for i := 0; i < *jobs; i++ {
+	for i := 0; i < cfg.Jobs; i++ {
 		job := k8s.EchoJob("demo", fmt.Sprintf("vni-job-%d", i),
 			map[string]string{vniapi.Annotation: vniapi.AnnotationValueTrue})
 		job.Spec.Template.RunDuration = 5 * time.Second
@@ -64,37 +101,37 @@ func main() {
 
 	for tick := 0; tick < 12; tick++ {
 		st.Eng.RunFor(2 * time.Second)
-		printState(st, tick)
+		printState(w, st, tick)
 	}
 
-	fmt.Println("\n== deleting all jobs ==")
+	fmt.Fprintln(w, "\n== deleting all jobs ==")
 	for _, obj := range st.Cluster.API.List(k8s.KindJob, "demo") {
 		m := obj.GetMeta()
 		st.Cluster.API.Delete(k8s.KindJob, m.Namespace, m.Name, nil)
 	}
 	st.Eng.RunFor(20 * time.Second)
-	st.Cluster.API.Delete(vniapi.KindVniClaim, "demo", "claim-obj", nil)
+	st.Cluster.API.Delete(vniapi.KindVniClaim, "demo", cfg.Claim, nil)
 	st.Eng.RunFor(20 * time.Second)
-	printState(st, -1)
+	printState(w, st, -1)
 
-	fmt.Println("\n== VNI database audit log (last 10) ==")
+	fmt.Fprintln(w, "\n== VNI database audit log (last 10) ==")
 	audit := st.DB.Audit()
 	if len(audit) > 10 {
 		audit = audit[len(audit)-10:]
 	}
 	for _, e := range audit {
-		fmt.Printf("  seq=%03d t=%s %-12s vni=%d owner=%s user=%s\n",
+		fmt.Fprintf(w, "  seq=%03d t=%s %-12s vni=%d owner=%s user=%s\n",
 			e.Seq, e.At, e.Op, e.VNI, e.Owner, e.User)
 	}
 }
 
-func printState(st *stack.Stack, tick int) {
+func printState(w io.Writer, st *stack.Stack, tick int) {
 	label := fmt.Sprintf("t=%s", st.Eng.Now())
 	if tick < 0 {
 		label = "final"
 	}
-	fmt.Printf("\n-- %s --\n", label)
-	fmt.Printf("%-16s %-10s %-8s %-9s %s\n", "JOB", "STATUS", "ACTIVE", "SUCCEEDED", "VNI")
+	fmt.Fprintf(w, "\n-- %s --\n", label)
+	fmt.Fprintf(w, "%-16s %-10s %-8s %-9s %s\n", "JOB", "STATUS", "ACTIVE", "SUCCEEDED", "VNI")
 	vniByJob := map[string]string{}
 	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "demo") {
 		cr := obj.(*k8s.Custom)
@@ -116,29 +153,29 @@ func printState(st *stack.Stack, tick int) {
 		if vni == "" {
 			vni = "-"
 		}
-		fmt.Printf("%-16s %-10s %-8d %-9d %s\n",
+		fmt.Fprintf(w, "%-16s %-10s %-8d %-9d %s\n",
 			job.Meta.Name, status, job.Status.Active, job.Status.Succeeded, vni)
 	}
 	dbst := st.DB.Stats()
-	fmt.Printf("vni pool: %d allocated, %d quarantined / %d\n",
+	fmt.Fprintf(w, "vni pool: %d allocated, %d quarantined / %d\n",
 		dbst.Allocated, dbst.Quarantined, dbst.PoolSize)
 	for _, n := range st.Nodes {
-		fmt.Printf("%s: %d cxi services, %d sandboxes\n",
+		fmt.Fprintf(w, "%s: %d cxi services, %d sandboxes\n",
 			n.Name, len(n.Device.SvcList())-1, n.Runtime.Sandboxes())
 	}
 }
 
 // runManifest submits the objects declared in a YAML file and reports on
 // their lifecycle, kubectl-apply style.
-func runManifest(st *stack.Stack, path string) {
+func runManifest(w io.Writer, st *stack.Stack, path string) error {
 	f, err := os.Open(path)
 	if err != nil {
-		log.Fatalf("shscluster: %v", err)
+		return err
 	}
 	defer f.Close()
 	objs, err := manifest.Parse(f)
 	if err != nil {
-		log.Fatalf("shscluster: %v", err)
+		return err
 	}
 	namespaces := map[string]bool{}
 	for _, obj := range objs {
@@ -155,9 +192,9 @@ func runManifest(st *stack.Stack, path string) {
 		st.Cluster.API.Create(obj, func(err error) { createErr = err })
 		st.Eng.RunFor(time.Second)
 		if createErr != nil {
-			log.Fatalf("shscluster: creating %s %s: %v", m.Kind, m.Key(), createErr)
+			return fmt.Errorf("creating %s %s: %w", m.Kind, m.Key(), createErr)
 		}
-		fmt.Printf("%s/%s created\n", m.Kind, m.Name)
+		fmt.Fprintf(w, "%s/%s created\n", m.Kind, m.Name)
 	}
 	// Watch until declared jobs settle.
 	for tick := 0; tick < 30; tick++ {
@@ -181,16 +218,17 @@ func runManifest(st *stack.Stack, path string) {
 		switch m.Kind {
 		case k8s.KindJob:
 			if job, ok := st.Cluster.Job(m.Namespace, m.Name); ok {
-				fmt.Printf("job %s: completed=%v succeeded=%d\n", m.Name, job.Status.Completed, job.Status.Succeeded)
+				fmt.Fprintf(w, "job %s: completed=%v succeeded=%d\n", m.Name, job.Status.Completed, job.Status.Succeeded)
 			} else {
-				fmt.Printf("job %s: deleted (ttl)\n", m.Name)
+				fmt.Fprintf(w, "job %s: deleted (ttl)\n", m.Name)
 			}
 		case vniapi.KindVniClaim:
-			fmt.Printf("vniclaim %s: present\n", m.Name)
+			fmt.Fprintf(w, "vniclaim %s: present\n", m.Name)
 		}
 	}
 	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "") {
 		cr := obj.(*k8s.Custom)
-		fmt.Printf("vni CRD %s: vni=%s job=%s\n", cr.Meta.Name, cr.Spec[vniapi.SpecVNI], cr.Spec[vniapi.SpecJob])
+		fmt.Fprintf(w, "vni CRD %s: vni=%s job=%s\n", cr.Meta.Name, cr.Spec[vniapi.SpecVNI], cr.Spec[vniapi.SpecJob])
 	}
+	return nil
 }

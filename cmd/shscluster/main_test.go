@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Jobs != 6 || cfg.Claim != "demo" || cfg.Seed != 1 || cfg.File != "" {
+		t.Errorf("defaults = %+v", cfg)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	cfg, err := parseFlags([]string{"-jobs", "2", "-claim", "shared", "-seed", "9", "-f", "x.yaml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Jobs != 2 || cfg.Claim != "shared" || cfg.Seed != 9 || cfg.File != "x.yaml" {
+		t.Errorf("overrides = %+v", cfg)
+	}
+}
+
+func TestParseFlagsRejectsGarbage(t *testing.T) {
+	if _, err := parseFlags([]string{"-jobs", "many"}); err == nil {
+		t.Error("want error for non-integer -jobs")
+	}
+}
+
+// TestDemoSmoke drives the built-in demo against the in-proc stack and
+// checks the timeline reaches a clean final state.
+func TestDemoSmoke(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, config{Jobs: 2, Claim: "demo", Seed: 1}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	// plain-job is absent: it is TTL-deleted within the first tick.
+	for _, want := range []string{
+		"== Slingshot-K8s demo cluster",
+		"vni-job-0",
+		"claim-job-1",
+		"(claim)", // claim-backed jobs share a virtual VNI
+		"== VNI database audit log",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// After deleting everything the pool must be fully drained.
+	if !strings.Contains(s, "vni pool: 0 allocated") {
+		t.Errorf("pool not drained at the end:\n%s", tail(s, 30))
+	}
+}
+
+// TestRunManifestSmoke submits a paper-style manifest through the CLI path.
+func TestRunManifestSmoke(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "job.yaml")
+	manifest := `apiVersion: batch/v1
+kind: Job
+metadata:
+  name: listing1
+  namespace: demo
+  annotations:
+    vni: "true"
+spec:
+  parallelism: 1
+`
+	if err := os.WriteFile(path, []byte(manifest), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, config{File: path, Seed: 1}); err != nil {
+		t.Fatalf("run -f: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Job/listing1 created") {
+		t.Errorf("job not created:\n%s", s)
+	}
+	if !strings.Contains(s, "completed=true") && !strings.Contains(s, "deleted (ttl)") {
+		t.Errorf("job did not complete:\n%s", s)
+	}
+}
+
+func TestRunManifestMissingFile(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, config{File: "does-not-exist.yaml"}); err == nil {
+		t.Error("want error for missing manifest")
+	}
+}
+
+func tail(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = lines[len(lines)-n:]
+	}
+	return strings.Join(lines, "\n")
+}

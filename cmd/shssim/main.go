@@ -1,0 +1,229 @@
+// Command shssim runs declarative cluster scenarios (internal/scenario)
+// against the simulated Slingshot-Kubernetes deployment: a scenario file
+// describes a fleet, a timed event sequence (jobs, fault injection, churn,
+// isolation probes) and end-state assertions. Runs execute on the virtual
+// clock, so a multi-minute cluster scenario finishes in milliseconds and is
+// bit-for-bit reproducible for a given seed.
+//
+// Usage:
+//
+//	shssim run <file-or-dir> [...]   run scenarios; non-zero exit on failure
+//	shssim validate <file> [...]     check scenario files without running
+//	shssim list [dir]                list scenarios with their descriptions
+//
+// Flags for run: -v (print the event narration), -workers N (parallel
+// scenario runs for directories; results print in deterministic order).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"github.com/caps-sim/shs-k8s/internal/scenario"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is the testable entry point; it returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "validate":
+		return cmdValidate(args[1:], stdout, stderr)
+	case "list":
+		return cmdList(args[1:], stdout, stderr)
+	case "-h", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "shssim: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  shssim run [-v] [-workers N] <file-or-dir> [...]
+  shssim validate <file> [...]
+  shssim list [dir]
+`)
+}
+
+// collectFiles expands directories into their sorted *.yaml/*.yml files.
+func collectFiles(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return nil, err
+		}
+		var dir []string
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			switch filepath.Ext(e.Name()) {
+			case ".yaml", ".yml":
+				dir = append(dir, filepath.Join(p, e.Name()))
+			}
+		}
+		sort.Strings(dir)
+		files = append(files, dir...)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no scenario files found in %s", strings.Join(paths, " "))
+	}
+	return files, nil
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "print the event narration for each run")
+	workers := fs.Int("workers", 4, "scenarios run in parallel")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "shssim run: need at least one scenario file or directory")
+		return 2
+	}
+	files, err := collectFiles(fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "shssim: %v\n", err)
+		return 1
+	}
+	scenarios := make([]*scenario.Scenario, len(files))
+	for i, f := range files {
+		sc, err := scenario.ParseFile(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "shssim: %v\n", err)
+			return 1
+		}
+		scenarios[i] = sc
+	}
+
+	// Independent scenarios run in parallel worker goroutines; each gets
+	// its own stack and virtual clock, so parallelism cannot perturb
+	// results. Output is collected per index and printed in input order.
+	results := make([]*scenario.Result, len(scenarios))
+	if *workers < 1 {
+		*workers = 1
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, *workers)
+	for i, sc := range scenarios {
+		wg.Add(1)
+		go func(i int, sc *scenario.Scenario) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = scenario.Run(sc)
+		}(i, sc)
+	}
+	wg.Wait()
+
+	failures := 0
+	for i, res := range results {
+		printResult(stdout, files[i], res, *verbose)
+		if !res.Passed() {
+			failures++
+		}
+	}
+	fmt.Fprintf(stdout, "\n%d scenario(s): %d passed, %d failed\n", len(results), len(results)-failures, failures)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}
+
+func printResult(w io.Writer, file string, res *scenario.Result, verbose bool) {
+	fmt.Fprintf(w, "\n=== %s (%s)\n", res.Scenario.Name, file)
+	if verbose {
+		for _, line := range res.Log {
+			fmt.Fprintf(w, "    %s\n", line)
+		}
+	}
+	if res.Err != nil {
+		fmt.Fprintf(w, "  ERROR: %v\n--- FAIL %s\n", res.Err, res.Scenario.Name)
+		return
+	}
+	for _, a := range res.Asserts {
+		fmt.Fprintf(w, "  %s\n", a)
+	}
+	verdict := "PASS"
+	if !res.Passed() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "--- %s %s (simulated %s)\n", verdict, res.Scenario.Name, res.SimTime)
+}
+
+func cmdValidate(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "shssim validate: need at least one scenario file or directory")
+		return 2
+	}
+	files, err := collectFiles(args)
+	if err != nil {
+		fmt.Fprintf(stderr, "shssim: %v\n", err)
+		return 1
+	}
+	bad := 0
+	for _, f := range files {
+		if _, err := scenario.ParseFile(f); err != nil {
+			fmt.Fprintf(stdout, "INVALID %v\n", err)
+			bad++
+			continue
+		}
+		fmt.Fprintf(stdout, "OK      %s\n", f)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdList(args []string, stdout, stderr io.Writer) int {
+	dir := "scenarios"
+	if len(args) > 0 {
+		dir = args[0]
+	}
+	files, err := collectFiles([]string{dir})
+	if err != nil {
+		fmt.Fprintf(stderr, "shssim: %v\n", err)
+		return 1
+	}
+	for _, f := range files {
+		sc, err := scenario.ParseFile(f)
+		if err != nil {
+			fmt.Fprintf(stdout, "%-28s %s (INVALID: %v)\n", "?", f, err)
+			continue
+		}
+		fmt.Fprintf(stdout, "%-28s %-40s %s\n", sc.Name, f, sc.Description)
+	}
+	return 0
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoScenarios points tests at the bundled scenario directory.
+func repoScenarios(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join("..", "..", "scenarios")
+	if _, err := os.Stat(dir); err != nil {
+		t.Skipf("bundled scenarios not found: %v", err)
+	}
+	return dir
+}
+
+func TestValidateBundledScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"validate", repoScenarios(t)}, &out, &errb); code != 0 {
+		t.Fatalf("validate exited %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "OK") {
+		t.Errorf("no OK lines in output:\n%s", out.String())
+	}
+}
+
+func TestValidateRejectsMalformedWithLineAnchor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.yaml")
+	src := "name: bad\nevents:\n  - at: 0s\n    action: start_fleet\n  - at: 1s\n    action: nonsense\n"
+	if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"validate", path}, &out, &errb); code == 0 {
+		t.Fatalf("validate accepted a malformed scenario:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "bad.yaml:5:") {
+		t.Errorf("error not line-anchored:\n%s", out.String())
+	}
+}
+
+// TestRunQuickstartTwiceDeterministic runs the cheapest bundled scenario
+// twice through the CLI and requires byte-identical reports.
+func TestRunQuickstartTwiceDeterministic(t *testing.T) {
+	file := filepath.Join(repoScenarios(t), "quickstart.yaml")
+	outputs := make([]string, 2)
+	for i := range outputs {
+		var out, errb bytes.Buffer
+		if code := run([]string{"run", "-v", file}, &out, &errb); code != 0 {
+			t.Fatalf("run exited %d:\n%s%s", code, out.String(), errb.String())
+		}
+		outputs[i] = out.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("two runs differ:\n--- 1:\n%s\n--- 2:\n%s", outputs[0], outputs[1])
+	}
+	if !strings.Contains(outputs[0], "--- PASS quickstart") {
+		t.Errorf("quickstart did not pass:\n%s", outputs[0])
+	}
+}
+
+func TestRunFailingScenarioExitsNonZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fail.yaml")
+	src := `name: doomed
+fleet:
+  nodes: 2
+events:
+  - at: 0s
+    action: start_fleet
+assertions:
+  - type: vnis_allocated
+    value: 42
+`
+	if err := os.WriteFile(path, []byte(src), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", path}, &out, &errb); code == 0 {
+		t.Fatalf("failing scenario exited 0:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("no FAIL in output:\n%s", out.String())
+	}
+}
+
+func TestListBundledScenarios(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"list", repoScenarios(t)}, &out, &errb); code != 0 {
+		t.Fatalf("list exited %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"quickstart", "multitenant-isolation", "nic-failure", "vni-exhaustion", "tenant-churn"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"frobnicate"}, &out, &errb); code != 2 {
+		t.Errorf("unknown command exited %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown command") {
+		t.Errorf("stderr missing diagnosis: %s", errb.String())
+	}
+}

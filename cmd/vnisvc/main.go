@@ -17,6 +17,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -29,20 +30,44 @@ import (
 	"github.com/caps-sim/shs-k8s/internal/vnisvc/httpapi"
 )
 
-func main() {
-	listen := flag.String("listen", ":8080", "listen address")
-	walPath := flag.String("wal", "", "write-ahead log file (empty = in-memory only)")
-	minVNI := flag.Uint("min", 1024, "lowest allocatable VNI")
-	maxVNI := flag.Uint("max", 65535, "highest allocatable VNI")
-	quarantine := flag.Duration("quarantine", 30*time.Second, "VNI release quarantine")
-	flag.Parse()
+// config captures the command line.
+type config struct {
+	Listen  string
+	WALPath string
+	Opts    vnidb.Options
+}
 
-	opts := vnidb.Options{
-		MinVNI:     fabric.VNI(*minVNI),
-		MaxVNI:     fabric.VNI(*maxVNI),
-		Quarantine: *quarantine,
+// parseFlags parses the command line into a config.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("vnisvc", flag.ContinueOnError)
+	listen := fs.String("listen", ":8080", "listen address")
+	walPath := fs.String("wal", "", "write-ahead log file (empty = in-memory only)")
+	minVNI := fs.Uint("min", 1024, "lowest allocatable VNI")
+	maxVNI := fs.Uint("max", 65535, "highest allocatable VNI")
+	quarantine := fs.Duration("quarantine", 30*time.Second, "VNI release quarantine")
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
 	}
-	db, closeWAL, err := openDB(opts, *walPath)
+	return config{
+		Listen:  *listen,
+		WALPath: *walPath,
+		Opts: vnidb.Options{
+			MinVNI:     fabric.VNI(*minVNI),
+			MaxVNI:     fabric.VNI(*maxVNI),
+			Quarantine: *quarantine,
+		},
+	}, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	if err != nil {
+		os.Exit(2)
+	}
+	db, closeWAL, err := openDB(cfg.Opts, cfg.WALPath)
 	if err != nil {
 		log.Fatalf("vnisvc: %v", err)
 	}
@@ -50,8 +75,8 @@ func main() {
 
 	srv := httpapi.NewServer(db)
 	log.Printf("vnisvc: VNI endpoint listening on %s (pool %d-%d, quarantine %v)",
-		*listen, opts.MinVNI, opts.MaxVNI, *quarantine)
-	if err := http.ListenAndServe(*listen, srv); err != nil {
+		cfg.Listen, cfg.Opts.MinVNI, cfg.Opts.MaxVNI, cfg.Opts.Quarantine)
+	if err := http.ListenAndServe(cfg.Listen, srv); err != nil {
 		log.Fatalf("vnisvc: %v", err)
 	}
 }

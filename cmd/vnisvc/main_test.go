@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+	"github.com/caps-sim/shs-k8s/internal/vnisvc/httpapi"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Listen != ":8080" || cfg.WALPath != "" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.Opts.MinVNI != 1024 || cfg.Opts.MaxVNI != 65535 || cfg.Opts.Quarantine != 30*time.Second {
+		t.Errorf("opts = %+v", cfg.Opts)
+	}
+}
+
+func TestParseFlagsOverrides(t *testing.T) {
+	cfg, err := parseFlags([]string{"-listen", ":9999", "-min", "1", "-max", "10", "-quarantine", "5s", "-wal", "w.jsonl"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Listen != ":9999" || cfg.Opts.MinVNI != 1 || cfg.Opts.MaxVNI != 10 ||
+		cfg.Opts.Quarantine != 5*time.Second || cfg.WALPath != "w.jsonl" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestParseFlagsRejectsGarbage(t *testing.T) {
+	if _, err := parseFlags([]string{"-min", "lots"}); err == nil {
+		t.Error("want error for non-integer -min")
+	}
+}
+
+func TestOpenDBInMemory(t *testing.T) {
+	db, closeWAL, err := openDB(vnidb.Options{MinVNI: 1, MaxVNI: 8}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWAL()
+	if got := db.Stats().PoolSize; got != 8 {
+		t.Errorf("pool size = %d, want 8", got)
+	}
+}
+
+// TestOpenDBWALRecovery writes allocations through a WAL-backed database,
+// reopens it, and expects the allocations to survive — the restart story
+// the vnisvc command exists for.
+func TestOpenDBWALRecovery(t *testing.T) {
+	wal := filepath.Join(t.TempDir(), "wal.jsonl")
+	opts := vnidb.Options{MinVNI: 1, MaxVNI: 100}
+
+	db, closeWAL, err := openDB(opts, wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		err := db.Update(func(tx *vnidb.Tx) error {
+			_, err := tx.Acquire("owner", 0)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	closeWAL()
+
+	db2, closeWAL2, err := openDB(opts, wal)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer closeWAL2()
+	if got := db2.Stats().Allocated; got != 3 {
+		t.Errorf("recovered %d allocations, want 3", got)
+	}
+}
+
+func TestOpenDBBadWALDirectory(t *testing.T) {
+	if _, _, err := openDB(vnidb.DefaultOptions(), filepath.Join(string(os.PathSeparator), "no-such-dir-xyz", "wal")); err == nil {
+		t.Error("want error for unwritable WAL path")
+	}
+}
+
+// TestHTTPServerSmoke drives the HTTP surface the command serves.
+func TestHTTPServerSmoke(t *testing.T) {
+	db, closeWAL, err := openDB(vnidb.Options{MinVNI: 1, MaxVNI: 8}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeWAL()
+	ts := httptest.NewServer(httpapi.NewServer(db))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/vnis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("vnis status = %d", resp.StatusCode)
+	}
+	var rows []any
+	if err := json.NewDecoder(resp.Body).Decode(&rows); err != nil {
+		t.Errorf("vnis body not a JSON array: %v", err)
+	}
+}

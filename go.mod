@@ -1,0 +1,3 @@
+module github.com/caps-sim/shs-k8s
+
+go 1.22

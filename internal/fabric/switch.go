@@ -63,6 +63,9 @@ type port struct {
 	egressAt sim.Time // link busy-until for egress serialization
 	// perTC accounting of egress bytes, for observability.
 	egressBytes [numTrafficClasses]uint64
+	// down marks an administratively failed port (NIC/cable fault injected
+	// by the scenario engine); all traffic through it is dropped.
+	down bool
 }
 
 // Switch is a single Rosetta-style switch. For the two-node OpenCUBE pilot
@@ -87,6 +90,11 @@ type Switch struct {
 	// dropHook, when set, observes every dropped packet (used by tests and
 	// by the isolation examples to demonstrate enforcement).
 	dropHook func(p *Packet, r DropReason)
+
+	// partition, when non-nil, assigns each address a partition group;
+	// packets whose source and destination groups differ are dropped.
+	// Addresses absent from the map are in group 0.
+	partition map[Addr]int
 }
 
 // addrAllocator issues globally unique fabric addresses.
@@ -206,6 +214,37 @@ func (s *Switch) OnDrop(fn func(p *Packet, r DropReason)) {
 	s.dropHook = fn
 }
 
+// SetPortDown marks a port administratively down (true) or up (false),
+// modelling a NIC or cable fault. While down, every packet entering or
+// leaving the port is dropped with DropLinkDown. The port keeps its address
+// and VNI grants, so recovery is instant.
+func (s *Switch) SetPortDown(addr Addr, down bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ports[addr]
+	if !ok {
+		return fmt.Errorf("fabric: set port down: no port %d", addr)
+	}
+	p.down = down
+	return nil
+}
+
+// SetPartition splits the fabric: each address maps to a partition group and
+// packets crossing groups are dropped with DropPartitioned. Addresses absent
+// from the map are in group 0. A nil map heals the partition.
+func (s *Switch) SetPartition(groups map[Addr]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if groups == nil {
+		s.partition = nil
+		return
+	}
+	s.partition = make(map[Addr]int, len(groups))
+	for a, g := range groups {
+		s.partition[a] = g
+	}
+}
+
 // wireTime returns the serialization time of n bytes at line rate.
 func (s *Switch) wireTime(bytes int) time.Duration {
 	return time.Duration(float64(bytes*8) / s.cfg.LinkBandwidthBits * float64(time.Second))
@@ -233,6 +272,10 @@ func (s *Switch) InjectFromTrunk(p *Packet) {
 		s.drop(p, DropNoRoute)
 		return
 	}
+	if out.down {
+		s.drop(p, DropLinkDown)
+		return
+	}
 	if !out.vnis[p.VNI] {
 		s.drop(p, DropVNIEgress)
 		return
@@ -257,6 +300,14 @@ func (s *Switch) Inject(p *Packet) {
 		s.drop(p, DropVNIIngress)
 		return
 	}
+	if in.down {
+		s.drop(p, DropLinkDown)
+		return
+	}
+	if s.partition != nil && s.partition[p.Src] != s.partition[p.Dst] {
+		s.drop(p, DropPartitioned)
+		return
+	}
 	out, ok := s.ports[p.Dst]
 	if !ok {
 		// Not local: a meshed switch forwards over the trunk toward the
@@ -268,6 +319,10 @@ func (s *Switch) Inject(p *Packet) {
 			return
 		}
 		s.drop(p, DropNoRoute)
+		return
+	}
+	if out.down {
+		s.drop(p, DropLinkDown)
 		return
 	}
 	if !out.vnis[p.VNI] {

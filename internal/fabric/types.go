@@ -113,10 +113,13 @@ type DropReason int
 
 // Drop reasons.
 const (
-	DropVNIIngress DropReason = iota // ingress port lacks the VNI
-	DropVNIEgress                    // egress port lacks the VNI
-	DropNoRoute                      // unknown destination address
-	DropInvalidTC                    // unknown traffic class
+	DropVNIIngress  DropReason = iota // ingress port lacks the VNI
+	DropVNIEgress                     // egress port lacks the VNI
+	DropNoRoute                       // unknown destination address
+	DropInvalidTC                     // unknown traffic class
+	DropLinkDown                      // ingress or egress port is administratively down
+	DropPartitioned                   // src and dst are in different fabric partitions
+	numDropReasons
 )
 
 // String names the drop reason.
@@ -130,7 +133,22 @@ func (r DropReason) String() string {
 		return "no_route"
 	case DropInvalidTC:
 		return "invalid_tc"
+	case DropLinkDown:
+		return "link_down"
+	case DropPartitioned:
+		return "partitioned"
 	default:
 		return fmt.Sprintf("drop(%d)", int(r))
 	}
+}
+
+// DropReasonByName maps the String form back to the reason; used by the
+// scenario engine, whose assertion files name reasons textually.
+func DropReasonByName(name string) (DropReason, bool) {
+	for r := DropVNIIngress; r < numDropReasons; r++ {
+		if r.String() == name {
+			return r, true
+		}
+	}
+	return 0, false
 }

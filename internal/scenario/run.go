@@ -1,0 +1,625 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/libcxi"
+	"github.com/caps-sim/shs-k8s/internal/libfabric"
+	"github.com/caps-sim/shs-k8s/internal/metrics"
+	"github.com/caps-sim/shs-k8s/internal/mpi"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/stack"
+	"github.com/caps-sim/shs-k8s/internal/vniapi"
+	"github.com/caps-sim/shs-k8s/internal/vnidb"
+	"github.com/caps-sim/shs-k8s/internal/vnisvc"
+)
+
+// AssertionResult is one evaluated end-state check.
+type AssertionResult struct {
+	Assertion Assertion
+	Actual    float64
+	Pass      bool
+}
+
+// String renders the check the way `shssim run` prints it.
+func (ar AssertionResult) String() string {
+	status := "PASS"
+	if !ar.Pass {
+		status = "FAIL"
+	}
+	a := ar.Assertion
+	subject := a.Type
+	if a.Target != "" {
+		subject += "(" + a.Target + ")"
+	}
+	return fmt.Sprintf("%s: %s %s %s (actual %s)", status, subject, a.Op, a.Value, formatActual(ar.Actual))
+}
+
+func formatActual(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'f', 3, 64)
+}
+
+// Result is the outcome of one scenario run. A run fails when an event
+// errors mid-flight (Err != nil) or any assertion fails.
+type Result struct {
+	Scenario *Scenario
+	// Log is the timestamped event narration, in virtual time.
+	Log []string
+	// Asserts holds one result per scenario assertion, in file order.
+	Asserts []AssertionResult
+	// SimTime is the virtual clock when the run finished.
+	SimTime sim.Time
+	// Err is the first event execution error, nil on a clean run.
+	Err error
+}
+
+// Passed reports whether the run completed and every assertion held.
+func (r *Result) Passed() bool {
+	if r.Err != nil {
+		return false
+	}
+	for _, a := range r.Asserts {
+		if !a.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes the scenario to completion on a fresh simulated deployment
+// and evaluates its assertions. Runs are deterministic: the same file and
+// seed produce identical results.
+func Run(sc *Scenario) (res *Result) {
+	r := &runner{sc: sc, res: &Result{Scenario: sc}, completed: map[string]bool{}, submitted: map[string]string{}}
+	// The named return is assigned up front so a recovered panic in an
+	// event or assertion still hands the caller a Result carrying Err.
+	res = r.res
+	defer func() {
+		if p := recover(); p != nil {
+			r.res.Err = fmt.Errorf("scenario %s: panic: %v", sc.Name, p)
+		}
+	}()
+	for i := range sc.Events {
+		ev := &sc.Events[i]
+		if r.st != nil {
+			deadline := r.start.Add(ev.At)
+			if deadline > r.st.Eng.Now() {
+				r.st.Eng.RunUntil(deadline)
+			}
+		}
+		if err := r.exec(ev); err != nil {
+			r.res.Err = sc.errAt(ev.Line, "%s: %v", ev.Action, err)
+			return r.res
+		}
+	}
+	r.res.SimTime = r.st.Eng.Now()
+	for _, a := range sc.Assertions {
+		r.res.Asserts = append(r.res.Asserts, r.evaluate(a))
+	}
+	return r.res
+}
+
+// runner holds one run's mutable state.
+type runner struct {
+	sc  *Scenario
+	res *Result
+	st  *stack.Stack
+	// start is the virtual time of start_fleet; event offsets are
+	// relative to it, so stack assembly time does not shift the timeline.
+	start sim.Time
+	// submitted maps job key -> tenant for every job this run created;
+	// completed records the keys seen completing, surviving TTL deletion.
+	submitted map[string]string
+	completed map[string]bool
+	// latUs collects one-way latency samples from pingpong events.
+	latUs []float64
+	// violations counts isolation-probe enforcement failures (forged
+	// packets delivered, cross-VNI endpoints granted).
+	violations int
+	rogue      fabric.Addr
+	rogueSet   bool
+}
+
+func (r *runner) logf(format string, args ...any) {
+	at := sim.Time(0)
+	if r.st != nil {
+		at = r.st.Eng.Now()
+	}
+	r.res.Log = append(r.res.Log, fmt.Sprintf("[%s] %s", at, fmt.Sprintf(format, args...)))
+}
+
+func (r *runner) exec(ev *Event) error {
+	switch ev.Action {
+	case "start_fleet":
+		return r.startFleet()
+	case "run_for":
+		d, _ := time.ParseDuration(ev.Params["duration"])
+		r.st.Eng.RunFor(d)
+		return nil
+	case "log":
+		r.logf("%s", ev.Params["message"])
+		return nil
+	case "submit_job":
+		return r.submitJob(ev)
+	case "delete_job":
+		key := ev.Params["tenant"] + "/" + ev.Params["name"]
+		if _, ok := r.submitted[key]; !ok {
+			return fmt.Errorf("job %s was never submitted", key)
+		}
+		r.st.Cluster.API.Delete(k8s.KindJob, ev.Params["tenant"], ev.Params["name"], nil)
+		r.logf("deleted job %s", key)
+		return nil
+	case "create_claim":
+		r.st.Cluster.API.Create(vnisvc.NewClaim(ev.Params["tenant"], ev.Params["name"], ev.Params["name"]), nil)
+		r.logf("created claim %s/%s", ev.Params["tenant"], ev.Params["name"])
+		return nil
+	case "delete_claim":
+		r.st.Cluster.API.Delete(vniapi.KindVniClaim, ev.Params["tenant"], ev.Params["name"], nil)
+		r.logf("deleted claim %s/%s", ev.Params["tenant"], ev.Params["name"])
+		return nil
+	case "churn_jobs":
+		return r.churnJobs(ev)
+	case "inject_nic_failure":
+		r.logf("injecting NIC failure on %s", ev.Target)
+		return r.st.FailNIC(ev.Target)
+	case "recover_nic":
+		r.logf("recovering NIC on %s", ev.Target)
+		return r.st.RecoverNIC(ev.Target)
+	case "partition_fabric":
+		nodes := splitList(ev.Params["nodes"])
+		r.logf("partitioning fabric: %v vs rest", nodes)
+		return r.st.PartitionFabric(nodes)
+	case "heal_partition":
+		r.st.HealPartition()
+		r.logf("fabric partition healed")
+		return nil
+	case "probe_isolation":
+		return r.probeIsolation()
+	case "pingpong":
+		return r.pingpong(ev)
+	case "wait_running":
+		return r.waitRunning(ev)
+	case "wait_jobs_complete":
+		return r.waitJobsComplete(ev)
+	case "resync_vni":
+		if r.st.VNISvc == nil {
+			return fmt.Errorf("vni service not installed")
+		}
+		r.st.VNISvc.Resync()
+		r.logf("requeued vni controllers")
+		return nil
+	default:
+		return fmt.Errorf("unimplemented action") // unreachable: Validate rejects unknown actions
+	}
+}
+
+func (r *runner) startFleet() error {
+	fl := r.sc.Fleet
+	opts := stack.DefaultOptions()
+	opts.Seed = r.sc.Seed
+	opts.Nodes = fl.Nodes
+	opts.VNIService = fl.VNIService
+	opts.DB = vnidb.Options{MinVNI: fl.VNIPoolMin, MaxVNI: fl.VNIPoolMax, Quarantine: fl.Quarantine}
+	r.st = stack.New(opts)
+	r.start = r.st.Eng.Now()
+	for _, t := range fl.Tenants {
+		r.st.Cluster.CreateNamespace(t.Name)
+	}
+	// Track job completion through the API watch so TTL-deleted jobs still
+	// count toward jobs_completed.
+	r.st.Cluster.API.Watch(k8s.KindJob, func(ev k8s.Event) {
+		if ev.Type == k8s.EventDeleted {
+			return
+		}
+		job := ev.Object.(*k8s.Job)
+		if job.Status.Completed {
+			r.completed[job.Meta.Key()] = true
+		}
+	})
+	r.logf("fleet up: %d nodes, %d tenants, vni pool %d-%d, vni service=%v",
+		fl.Nodes, len(fl.Tenants), fl.VNIPoolMin, fl.VNIPoolMax, fl.VNIService)
+	return nil
+}
+
+// buildJob constructs one scenario job; vni "" means no Slingshot access,
+// "true" a per-resource VNI, anything else redeems the named claim.
+func buildJob(tenant, name, vni string, pods int, runtime sim.Duration, ttlDelete bool) *k8s.Job {
+	var ann map[string]string
+	if vni != "" {
+		ann = map[string]string{vniapi.Annotation: vni}
+	}
+	return &k8s.Job{
+		Meta: k8s.Meta{Kind: k8s.KindJob, Namespace: tenant, Name: name, Annotations: ann},
+		Spec: k8s.JobSpec{
+			Parallelism:         pods,
+			Template:            k8s.PodSpec{Image: "scenario:latest", RunDuration: runtime},
+			DeleteAfterFinished: ttlDelete,
+		},
+	}
+}
+
+func (r *runner) submitJob(ev *Event) error {
+	tenant, name := ev.Params["tenant"], ev.Params["name"]
+	pods, _ := strconv.Atoi(ev.Param("pods", "1"))
+	runtime, _ := time.ParseDuration(ev.Param("runtime", "50ms"))
+	key := tenant + "/" + name
+	if _, dup := r.submitted[key]; dup {
+		return fmt.Errorf("job %s already submitted", key)
+	}
+	r.submitted[key] = tenant
+	r.st.Cluster.SubmitJob(buildJob(tenant, name, ev.Params["vni"], pods, runtime, false), nil)
+	r.logf("submitted job %s (%d pod(s), vni=%q)", key, pods, ev.Params["vni"])
+	return nil
+}
+
+// churnJobs submits a train of short jobs spaced by interval; with TTL
+// deletion on, each completed job releases its VNI, exercising the
+// allocate/quarantine/reallocate cycle under sustained churn.
+func (r *runner) churnJobs(ev *Event) error {
+	tenant := ev.Params["tenant"]
+	count, _ := strconv.Atoi(ev.Params["count"])
+	pods, _ := strconv.Atoi(ev.Param("pods", "1"))
+	interval, _ := time.ParseDuration(ev.Param("interval", "500ms"))
+	runtime, _ := time.ParseDuration(ev.Param("runtime", "50ms"))
+	vni := ev.Param("vni", vniapi.AnnotationValueTrue)
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("churn-%s-%03d", tenant, i)
+		key := tenant + "/" + name
+		if _, dup := r.submitted[key]; dup {
+			return fmt.Errorf("job %s already submitted", key)
+		}
+		r.submitted[key] = tenant
+		job := buildJob(tenant, name, vni, pods, runtime, true)
+		r.st.Eng.After(time.Duration(i)*interval, func() {
+			r.st.Cluster.SubmitJob(job, nil)
+		})
+	}
+	r.logf("churning %d jobs in %s (interval %s, runtime %s)", count, tenant, interval, runtime)
+	return nil
+}
+
+// tenantVNI returns the VNI on the tenant's first VNI CRD instance
+// (virtual or owning — both carry a valid VNI value), or the one attached
+// to jobName when given.
+func (r *runner) tenantVNI(tenant, jobName string) (fabric.VNI, error) {
+	for _, obj := range r.st.Cluster.API.List(vniapi.KindVNI, tenant) {
+		cr := obj.(*k8s.Custom)
+		if jobName != "" && cr.Spec[vniapi.SpecJob] != jobName {
+			continue
+		}
+		v, err := strconv.ParseUint(cr.Spec[vniapi.SpecVNI], 10, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad vni on CRD %s: %v", cr.Meta.Name, err)
+		}
+		return fabric.VNI(v), nil
+	}
+	if jobName != "" {
+		return 0, fmt.Errorf("no VNI CRD for job %s/%s", tenant, jobName)
+	}
+	return 0, fmt.Errorf("tenant %s has no VNI", tenant)
+}
+
+// probeIsolation attacks every tenant's VNI at the two enforcement layers
+// the paper relies on: (1) a rogue switch port the fabric manager never
+// authorized injects forged packets below the driver, which Rosetta must
+// drop at ingress; (2) a process inside another tenant's pod asks the CXI
+// driver for an endpoint on the victim's VNI, which netns-membership
+// authentication must refuse. A correct deployment yields
+// isolation_violations == 0.
+func (r *runner) probeIsolation() error {
+	tenants := r.sc.Fleet.Tenants
+	if !r.rogueSet {
+		r.rogue = r.st.Switch.Attach(nullReceiver{})
+		r.rogueSet = true
+	}
+
+	// Layer 1: forged packets from the unauthorized rogue port.
+	type probe struct {
+		src fabric.Addr
+		vni fabric.VNI
+	}
+	outstanding := map[probe]int{}
+	sent := 0
+	for ti, victim := range tenants {
+		vni, err := r.tenantVNI(victim.Name, "")
+		if err != nil {
+			return err
+		}
+		pkt := &fabric.Packet{
+			Src: r.rogue, Dst: r.st.Nodes[ti%len(r.st.Nodes)].Device.Addr(), VNI: vni,
+			TC: fabric.TCDedicated, PayloadBytes: 64, Frames: 1,
+		}
+		outstanding[probe{pkt.Src, pkt.VNI}]++
+		sent++
+		link := fabric.NewHostLink(r.st.Eng, r.st.Switch)
+		r.st.Eng.After(0, func() { link.Send(pkt) })
+	}
+	dropped := 0
+	r.st.Switch.OnDrop(func(pkt *fabric.Packet, reason fabric.DropReason) {
+		k := probe{src: pkt.Src, vni: pkt.VNI}
+		if outstanding[k] > 0 {
+			outstanding[k]--
+			dropped++
+		}
+	})
+	r.st.Eng.RunFor(100 * time.Millisecond)
+	r.st.Switch.OnDrop(nil)
+	r.violations += sent - dropped
+
+	// Layer 2: cross-tenant endpoint allocation against driver auth.
+	granted, attempts := 0, 0
+	for ai, attacker := range tenants {
+		for vi, victim := range tenants {
+			if ai == vi {
+				continue
+			}
+			vni, err := r.tenantVNI(victim.Name, "")
+			if err != nil {
+				return err
+			}
+			pod, node, err := r.anyRunningPod(attacker.Name)
+			if err != nil {
+				return err
+			}
+			proc, err := node.Runtime.Exec(pod.Meta.Namespace, pod.Meta.Name, "attacker", 0, 0)
+			if err != nil {
+				return err
+			}
+			attempts++
+			h := libcxi.Open(node.Device, proc.PID)
+			if _, err := h.EPAllocAuto(vni, fabric.TCDedicated); err == nil {
+				granted++
+			}
+		}
+	}
+	r.violations += granted
+	r.logf("isolation probe: %d rogue packets (%d dropped), %d cross-VNI endpoint attempts (%d denied)",
+		sent, dropped, attempts, attempts-granted)
+	return nil
+}
+
+// anyRunningPod returns a running pod of the tenant and its node.
+func (r *runner) anyRunningPod(tenant string) (*k8s.Pod, *stack.Node, error) {
+	for _, obj := range r.st.Cluster.API.List(k8s.KindPod, tenant) {
+		pod := obj.(*k8s.Pod)
+		if pod.Status.Phase != k8s.PodRunning {
+			continue
+		}
+		if node, ok := r.st.NodeByName(pod.Spec.NodeName); ok {
+			return pod, node, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("tenant %s has no running pod", tenant)
+}
+
+// runningPods counts Running pods in a tenant, optionally for one job.
+func (r *runner) runningPods(tenant, job string) int {
+	n := 0
+	for _, obj := range r.st.Cluster.API.List(k8s.KindPod, tenant) {
+		pod := obj.(*k8s.Pod)
+		if job != "" && pod.Meta.Labels["job-name"] != job {
+			continue
+		}
+		if pod.Status.Phase == k8s.PodRunning {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *runner) waitRunning(ev *Event) error {
+	tenant, job := ev.Params["tenant"], ev.Params["job"]
+	pods, _ := strconv.Atoi(ev.Params["pods"])
+	timeout, _ := time.ParseDuration(ev.Param("timeout", "30s"))
+	ok := r.st.Eng.RunUntilDone(func() bool {
+		return r.runningPods(tenant, job) >= pods
+	}, r.st.Eng.Now().Add(timeout))
+	if !ok {
+		return fmt.Errorf("timed out after %s waiting for %d running pod(s) in %s", timeout, pods, tenant)
+	}
+	r.logf("%d pod(s) running in %s", pods, tenant)
+	return nil
+}
+
+func (r *runner) waitJobsComplete(ev *Event) error {
+	tenant := ev.Params["tenant"]
+	timeout, _ := time.ParseDuration(ev.Param("timeout", "60s"))
+	want := 0
+	for _, t := range r.submitted {
+		if tenant == "" || t == tenant {
+			want++
+		}
+	}
+	ok := r.st.Eng.RunUntilDone(func() bool {
+		return r.completedCount(tenant) >= want
+	}, r.st.Eng.Now().Add(timeout))
+	if !ok {
+		return fmt.Errorf("timed out after %s: %d/%d jobs complete", timeout, r.completedCount(tenant), want)
+	}
+	r.logf("all %d job(s) complete%s", want, scopeSuffix(tenant))
+	return nil
+}
+
+func scopeSuffix(tenant string) string {
+	if tenant == "" {
+		return ""
+	}
+	return " in " + tenant
+}
+
+func (r *runner) completedCount(tenant string) int {
+	n := 0
+	for key := range r.completed {
+		if tenant == "" || r.submitted[key] == tenant {
+			n++
+		}
+	}
+	return n
+}
+
+// pingpong opens an RDMA domain inside the job's first two pods (netns
+// authentication, as the paper's data path requires) and measures one-way
+// latency over the job's private VNI, feeding the latency_us assertions.
+func (r *runner) pingpong(ev *Event) error {
+	tenant, jobName := ev.Params["tenant"], ev.Params["job"]
+	rounds, _ := strconv.Atoi(ev.Param("rounds", "200"))
+	bytes, _ := strconv.Atoi(ev.Param("bytes", "8"))
+	timeout, _ := time.ParseDuration(ev.Param("timeout", "30s"))
+
+	if ok := r.st.Eng.RunUntilDone(func() bool {
+		return r.runningPods(tenant, jobName) >= 2
+	}, r.st.Eng.Now().Add(timeout)); !ok {
+		return fmt.Errorf("timed out waiting for 2 running pods of %s/%s", tenant, jobName)
+	}
+	vni, err := r.tenantVNI(tenant, jobName)
+	if err != nil {
+		return err
+	}
+	var doms []*libfabric.Domain
+	for _, obj := range r.st.Cluster.API.List(k8s.KindPod, tenant) {
+		pod := obj.(*k8s.Pod)
+		if pod.Meta.Labels["job-name"] != jobName || pod.Status.Phase != k8s.PodRunning {
+			continue
+		}
+		node, ok := r.st.NodeByName(pod.Spec.NodeName)
+		if !ok {
+			return fmt.Errorf("pod %s on unknown node %s", pod.Meta.Name, pod.Spec.NodeName)
+		}
+		proc, err := node.Runtime.Exec(pod.Meta.Namespace, pod.Meta.Name, "rank", 0, 0)
+		if err != nil {
+			return err
+		}
+		d, err := libfabric.OpenDomain(r.st.Eng, libfabric.Info{
+			Device: node.Device, Caller: proc.PID, VNI: vni, TC: fabric.TCLowLatency})
+		if err != nil {
+			return err
+		}
+		doms = append(doms, d)
+		if len(doms) == 2 {
+			break
+		}
+	}
+	if len(doms) < 2 {
+		return fmt.Errorf("need 2 pods for pingpong, found %d", len(doms))
+	}
+	comm, err := mpi.Connect(r.st.Eng, doms...)
+	if err != nil {
+		return err
+	}
+	done := 0
+	var roundStart sim.Time
+	var round func()
+	round = func() {
+		if done >= rounds {
+			return
+		}
+		roundStart = r.st.Eng.Now()
+		comm.Ranks[1].Recv(func(sz int) { comm.Ranks[1].Isend(sz, nil) })
+		comm.Ranks[0].SendRecv(bytes, func(int) {
+			rtt := r.st.Eng.Now().Sub(roundStart)
+			r.latUs = append(r.latUs, float64(rtt)/float64(time.Microsecond)/2)
+			done++
+			round()
+		})
+	}
+	r.st.Eng.After(0, round)
+	deadline := r.st.Eng.Now().Add(timeout)
+	if ok := r.st.Eng.RunUntilDone(func() bool { return done >= rounds }, deadline); !ok {
+		// Fault scenarios expect traffic to blackhole (NIC down, fabric
+		// partitioned); tolerate_stall turns the stall into a logged
+		// observation instead of a run error.
+		if tolerate, _ := strconv.ParseBool(ev.Param("tolerate_stall", "false")); tolerate {
+			r.logf("pingpong %s/%s stalled as expected: %d/%d rounds after %s",
+				tenant, jobName, done, rounds, timeout)
+			return nil
+		}
+		return fmt.Errorf("pingpong stalled: %d/%d rounds after %s", done, rounds, timeout)
+	}
+	s := metrics.Summarize(r.latUs[len(r.latUs)-rounds:])
+	r.logf("pingpong %s/%s: %d rounds of %d B, one-way p50 %.3f us",
+		tenant, jobName, rounds, bytes, s.P50)
+	return nil
+}
+
+// evaluate computes one assertion's actual value and verdict.
+func (r *runner) evaluate(a Assertion) AssertionResult {
+	expected, _ := parseExpected(a.Value) // validated at parse time
+	actual := r.actual(a)
+	return AssertionResult{Assertion: a, Actual: actual, Pass: compareOps[a.Op](actual, expected)}
+}
+
+func (r *runner) actual(a Assertion) float64 {
+	switch a.Type {
+	case "vnis_allocated":
+		return float64(r.st.DB.Stats().Allocated)
+	case "vnis_quarantined":
+		return float64(r.st.DB.Stats().Quarantined)
+	case "jobs_completed":
+		return float64(r.completedCount(a.Target))
+	case "jobs_pending":
+		n := 0
+		for _, obj := range r.st.Cluster.API.List(k8s.KindJob, a.Target) {
+			job := obj.(*k8s.Job)
+			if !job.Status.Completed {
+				n++
+			}
+		}
+		return float64(n)
+	case "pods_running":
+		return float64(r.runningPods(a.Target, ""))
+	case "isolation_violations":
+		return float64(r.violations)
+	case "switch_drops":
+		reason, _ := fabric.DropReasonByName(a.Target)
+		return float64(r.st.Switch.Stats().Drops[reason])
+	case "switch_forwarded":
+		return float64(r.st.Switch.Stats().Forwarded)
+	case "latency_us":
+		s := metrics.Summarize(r.latUs)
+		switch a.Target {
+		case "p50":
+			return s.P50
+		case "p90":
+			return s.P90
+		case "p99":
+			return metrics.Percentile(r.latUs, 99)
+		case "max":
+			return s.Max
+		case "mean":
+			return s.Mean
+		}
+	case "sync_errors":
+		if r.st.VNISvc == nil {
+			return 0
+		}
+		return float64(r.st.VNISvc.Endpoint.Stats().SyncErrors)
+	case "distinct_tenant_vnis":
+		seen := map[string]string{} // vni value -> namespace
+		for _, t := range r.sc.Fleet.Tenants {
+			for _, obj := range r.st.Cluster.API.List(vniapi.KindVNI, t.Name) {
+				cr := obj.(*k8s.Custom)
+				if cr.Spec[vniapi.SpecVirtual] == "true" {
+					continue
+				}
+				v := cr.Spec[vniapi.SpecVNI]
+				if ns, dup := seen[v]; dup && ns != t.Name {
+					return 0
+				}
+				seen[v] = t.Name
+			}
+		}
+		return 1
+	}
+	return 0 // unreachable: Validate rejects unknown types
+}
+
+type nullReceiver struct{}
+
+func (nullReceiver) ReceivePacket(*fabric.Packet) {}

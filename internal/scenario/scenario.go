@@ -1,0 +1,561 @@
+// Package scenario is the declarative workload layer over the simulated
+// deployment: a scenario file describes a fleet (nodes, tenants, VNI pool),
+// a timed event sequence (job submission, fault injection, churn,
+// isolation probes) and end-state assertions (allocation counts, completed
+// jobs, zero isolation violations, latency bounds). The engine drives
+// internal/stack on the virtual internal/sim clock, so a multi-minute
+// cluster scenario runs deterministically in milliseconds of wall time.
+//
+// Scenario files use a hand-rolled YAML subset (see yaml.go) — block
+// mappings, "- " sequences, scalars and comments — so no dependency beyond
+// the standard library is needed. `shssim run`, `shssim validate` and
+// `shssim list` (cmd/shssim) are the command-line front end; the file
+// format is documented in docs/scenarios.md.
+package scenario
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// Fleet describes the simulated deployment a scenario runs against. The
+// topology is the paper's: one Rosetta switch with one Cassini NIC per
+// node; tenants map to Kubernetes namespaces.
+type Fleet struct {
+	// Nodes is the worker count (default 2, the OpenCUBE pilot).
+	Nodes int
+	// VNIService installs the paper's integration (default true); false
+	// runs the vni:false baseline.
+	VNIService bool
+	// VNIPoolMin/VNIPoolMax bound the allocatable VNI pool; shrinking the
+	// pool is how exhaustion scenarios are built.
+	VNIPoolMin, VNIPoolMax fabric.VNI
+	// Quarantine is the VNI release quarantine (default 30s, the paper's).
+	Quarantine sim.Duration
+	// Tenants are the namespaces workloads run in.
+	Tenants []Tenant
+}
+
+// Tenant is one isolation domain (a Kubernetes namespace).
+type Tenant struct {
+	Name string
+}
+
+// Event is one timed scenario step.
+type Event struct {
+	// At is the virtual time offset from scenario start.
+	At sim.Duration
+	// Action names the step; see docs/scenarios.md for the catalogue.
+	Action string
+	// Target is the action's subject (a node for fault actions, a drop
+	// reason for assertions); tenant-scoped actions use the tenant param.
+	Target string
+	// Params are the action's scalar parameters.
+	Params map[string]string
+	// Line anchors errors to the source file.
+	Line int
+}
+
+// Param returns a parameter value or a default.
+func (e *Event) Param(key, def string) string {
+	if v, ok := e.Params[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Assertion is one end-state check evaluated after all events ran.
+type Assertion struct {
+	// Type names the probed quantity (vnis_allocated, jobs_completed,
+	// isolation_violations, latency_us, ...).
+	Type string
+	// Target scopes the probe: a tenant for job counts, a drop reason for
+	// switch_drops, a statistic (p50, p90, p99, max, mean) for latency_us.
+	Target string
+	// Op compares actual to Value: ==, !=, <, <=, >, >= (default ==).
+	Op string
+	// Value is the expected number (true/false allowed for boolean types).
+	Value string
+	// Line anchors errors and failure reports to the source file.
+	Line int
+}
+
+// Scenario is one parsed scenario file.
+type Scenario struct {
+	Name        string
+	Description string
+	// Seed feeds the deterministic simulation engine (default 1).
+	Seed       int64
+	Fleet      Fleet
+	Events     []Event
+	Assertions []Assertion
+	// Path is the source file, "" when parsed from a reader.
+	Path string
+}
+
+// errAt builds a line-anchored error for a source position.
+func (sc *Scenario) errAt(line int, format string, args ...any) error {
+	where := sc.Path
+	if where == "" {
+		where = "scenario"
+	}
+	return fmt.Errorf("%s:%d: %s", where, line, fmt.Sprintf(format, args...))
+}
+
+// Parse reads and validates a scenario from r.
+func Parse(r io.Reader) (*Scenario, error) { return parse(r, "") }
+
+// ParseFile reads and validates a scenario file.
+func ParseFile(path string) (*Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parse(f, path)
+}
+
+func parse(r io.Reader, path string) (*Scenario, error) {
+	root, err := parseTree(r)
+	if err != nil {
+		if path != "" {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return nil, err
+	}
+	sc := &Scenario{Path: path, Seed: 1, Fleet: defaultFleet()}
+	if err := sc.decode(root); err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func defaultFleet() Fleet {
+	return Fleet{
+		Nodes:      2,
+		VNIService: true,
+		VNIPoolMin: 1024,
+		VNIPoolMax: 65535,
+		Quarantine: 30 * time.Second,
+	}
+}
+
+// decode maps the parsed tree onto the schema, rejecting unknown keys so
+// typos surface as line-anchored errors instead of silently ignored knobs.
+func (sc *Scenario) decode(root *value) error {
+	if root.kind != mapNode {
+		return sc.errAt(root.line, "top level must be a mapping")
+	}
+	for _, key := range root.keys {
+		v := root.child[key]
+		switch key {
+		case "name":
+			sc.Name = v.scalar
+		case "description":
+			sc.Description = v.scalar
+		case "seed":
+			n, err := strconv.ParseInt(v.scalar, 10, 64)
+			if err != nil {
+				return sc.errAt(v.line, "seed: not an integer: %q", v.scalar)
+			}
+			sc.Seed = n
+		case "fleet":
+			if err := sc.decodeFleet(v); err != nil {
+				return err
+			}
+		case "events":
+			if err := sc.decodeEvents(v); err != nil {
+				return err
+			}
+		case "assertions":
+			if err := sc.decodeAssertions(v); err != nil {
+				return err
+			}
+		default:
+			return sc.errAt(v.line, "unknown top-level key %q", key)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) decodeFleet(v *value) error {
+	if v.kind != mapNode {
+		return sc.errAt(v.line, "fleet: must be a mapping")
+	}
+	for _, key := range v.keys {
+		c := v.child[key]
+		switch key {
+		case "nodes":
+			n, err := strconv.Atoi(c.scalar)
+			if err != nil || n < 1 {
+				return sc.errAt(c.line, "fleet.nodes: must be a positive integer, got %q", c.scalar)
+			}
+			sc.Fleet.Nodes = n
+		case "vniService":
+			b, err := strconv.ParseBool(c.scalar)
+			if err != nil {
+				return sc.errAt(c.line, "fleet.vniService: not a boolean: %q", c.scalar)
+			}
+			sc.Fleet.VNIService = b
+		case "vniPoolMin", "vniPoolMax":
+			n, err := strconv.ParseUint(c.scalar, 10, 32)
+			if err != nil || n == 0 {
+				return sc.errAt(c.line, "fleet.%s: must be a positive integer, got %q", key, c.scalar)
+			}
+			if key == "vniPoolMin" {
+				sc.Fleet.VNIPoolMin = fabric.VNI(n)
+			} else {
+				sc.Fleet.VNIPoolMax = fabric.VNI(n)
+			}
+		case "quarantine":
+			d, err := time.ParseDuration(c.scalar)
+			if err != nil || d < 0 {
+				return sc.errAt(c.line, "fleet.quarantine: not a duration: %q", c.scalar)
+			}
+			sc.Fleet.Quarantine = d
+		case "tenants":
+			if c.kind != seqNode {
+				return sc.errAt(c.line, "fleet.tenants: must be a sequence")
+			}
+			for _, item := range c.items {
+				switch item.kind {
+				case scalarNode:
+					sc.Fleet.Tenants = append(sc.Fleet.Tenants, Tenant{Name: item.scalar})
+				case mapNode:
+					name := item.str("name")
+					if name == "" {
+						return sc.errAt(item.line, "fleet.tenants: tenant needs a name")
+					}
+					for _, k := range item.keys {
+						if k != "name" {
+							return sc.errAt(item.child[k].line, "fleet.tenants: unknown tenant key %q", k)
+						}
+					}
+					sc.Fleet.Tenants = append(sc.Fleet.Tenants, Tenant{Name: name})
+				default:
+					return sc.errAt(item.line, "fleet.tenants: invalid tenant entry")
+				}
+			}
+		default:
+			return sc.errAt(c.line, "fleet: unknown key %q", key)
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) decodeEvents(v *value) error {
+	if v.kind != seqNode {
+		return sc.errAt(v.line, "events: must be a sequence")
+	}
+	for _, item := range v.items {
+		if item.kind != mapNode {
+			return sc.errAt(item.line, "events: each event must be a mapping")
+		}
+		ev := Event{Line: item.line, Params: map[string]string{}}
+		for _, key := range item.keys {
+			c := item.child[key]
+			if c.kind != scalarNode {
+				return sc.errAt(c.line, "events: %q must be a scalar", key)
+			}
+			switch key {
+			case "at":
+				d, err := time.ParseDuration(c.scalar)
+				if err != nil || d < 0 {
+					return sc.errAt(c.line, "events: at: not a duration: %q", c.scalar)
+				}
+				ev.At = d
+			case "action":
+				ev.Action = c.scalar
+			case "target":
+				ev.Target = c.scalar
+			default:
+				ev.Params[key] = c.scalar
+			}
+		}
+		sc.Events = append(sc.Events, ev)
+	}
+	return nil
+}
+
+func (sc *Scenario) decodeAssertions(v *value) error {
+	if v.kind != seqNode {
+		return sc.errAt(v.line, "assertions: must be a sequence")
+	}
+	for _, item := range v.items {
+		if item.kind != mapNode {
+			return sc.errAt(item.line, "assertions: each assertion must be a mapping")
+		}
+		a := Assertion{Line: item.line, Op: "=="}
+		for _, key := range item.keys {
+			c := item.child[key]
+			if c.kind != scalarNode {
+				return sc.errAt(c.line, "assertions: %q must be a scalar", key)
+			}
+			switch key {
+			case "type":
+				a.Type = c.scalar
+			case "target":
+				a.Target = c.scalar
+			case "op":
+				a.Op = c.scalar
+			case "value":
+				a.Value = c.scalar
+			default:
+				return sc.errAt(c.line, "assertions: unknown key %q", key)
+			}
+		}
+		sc.Assertions = append(sc.Assertions, a)
+	}
+	return nil
+}
+
+// actionSpec declares an action's parameter schema for validation.
+type actionSpec struct {
+	// needsTarget: "" (target forbidden), "node", or "free".
+	needsTarget string
+	required    []string
+	optional    []string
+}
+
+// actions is the catalogue of event actions; docs/scenarios.md documents
+// each one.
+var actions = map[string]actionSpec{
+	"start_fleet":        {},
+	"run_for":            {required: []string{"duration"}},
+	"log":                {required: []string{"message"}},
+	"submit_job":         {required: []string{"tenant", "name"}, optional: []string{"pods", "runtime", "vni"}},
+	"delete_job":         {required: []string{"tenant", "name"}},
+	"create_claim":       {required: []string{"tenant", "name"}},
+	"delete_claim":       {required: []string{"tenant", "name"}},
+	"churn_jobs":         {required: []string{"tenant", "count"}, optional: []string{"interval", "runtime", "vni", "pods"}},
+	"inject_nic_failure": {needsTarget: "node"},
+	"recover_nic":        {needsTarget: "node"},
+	"partition_fabric":   {required: []string{"nodes"}},
+	"heal_partition":     {},
+	"probe_isolation":    {},
+	"pingpong":           {required: []string{"tenant", "job"}, optional: []string{"rounds", "bytes", "timeout", "tolerate_stall"}},
+	"wait_running":       {required: []string{"tenant", "pods"}, optional: []string{"job", "timeout"}},
+	"wait_jobs_complete": {optional: []string{"tenant", "timeout"}},
+	"resync_vni":         {},
+}
+
+// assertionTargets maps assertion types to how their target is validated:
+// "" (none), "tenant" (optional tenant), "reason" (drop reason), "stat"
+// (latency statistic).
+var assertionTargets = map[string]string{
+	"vnis_allocated":       "",
+	"vnis_quarantined":     "",
+	"jobs_completed":       "tenant",
+	"jobs_pending":         "tenant",
+	"pods_running":         "tenant",
+	"isolation_violations": "",
+	"switch_drops":         "reason",
+	"switch_forwarded":     "",
+	"latency_us":           "stat",
+	"sync_errors":          "",
+	"distinct_tenant_vnis": "",
+}
+
+var latencyStats = map[string]bool{"p50": true, "p90": true, "p99": true, "max": true, "mean": true}
+
+var compareOps = map[string]func(a, b float64) bool{
+	"==": func(a, b float64) bool { return a == b },
+	"!=": func(a, b float64) bool { return a != b },
+	"<":  func(a, b float64) bool { return a < b },
+	"<=": func(a, b float64) bool { return a <= b },
+	">":  func(a, b float64) bool { return a > b },
+	">=": func(a, b float64) bool { return a >= b },
+}
+
+// Validate checks the scenario against the schema: known actions with
+// complete parameters, resolvable targets, well-formed assertions. It is
+// what `shssim validate` runs; Parse calls it automatically.
+func (sc *Scenario) Validate() error {
+	if sc.Name == "" {
+		return sc.errAt(1, "scenario needs a name")
+	}
+	fl := &sc.Fleet
+	if fl.VNIPoolMax < fl.VNIPoolMin {
+		return sc.errAt(1, "fleet: vniPoolMax %d below vniPoolMin %d", fl.VNIPoolMax, fl.VNIPoolMin)
+	}
+	tenants := map[string]bool{}
+	for _, t := range fl.Tenants {
+		if tenants[t.Name] {
+			return sc.errAt(1, "fleet: duplicate tenant %q", t.Name)
+		}
+		tenants[t.Name] = true
+	}
+	if len(sc.Events) == 0 {
+		return sc.errAt(1, "scenario needs at least one event")
+	}
+	if sc.Events[0].Action != "start_fleet" {
+		return sc.errAt(sc.Events[0].Line, "first event must be start_fleet, got %q", sc.Events[0].Action)
+	}
+	for i := 1; i < len(sc.Events); i++ {
+		if sc.Events[i].At < sc.Events[i-1].At {
+			return sc.errAt(sc.Events[i].Line, "events must be ordered by time: %v after %v",
+				sc.Events[i].At, sc.Events[i-1].At)
+		}
+		if sc.Events[i].Action == "start_fleet" {
+			return sc.errAt(sc.Events[i].Line, "start_fleet must appear exactly once, first")
+		}
+	}
+	for i := range sc.Events {
+		if err := sc.validateEvent(&sc.Events[i], tenants); err != nil {
+			return err
+		}
+	}
+	for i := range sc.Assertions {
+		if err := sc.validateAssertion(&sc.Assertions[i], tenants); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) validateEvent(ev *Event, tenants map[string]bool) error {
+	spec, ok := actions[ev.Action]
+	if !ok {
+		if ev.Action == "" {
+			return sc.errAt(ev.Line, "event needs an action")
+		}
+		return sc.errAt(ev.Line, "unknown action %q", ev.Action)
+	}
+	switch spec.needsTarget {
+	case "node":
+		if !sc.validNode(ev.Target) {
+			return sc.errAt(ev.Line, "%s: target must name a fleet node (node0..node%d), got %q",
+				ev.Action, sc.Fleet.Nodes-1, ev.Target)
+		}
+	case "":
+		if ev.Target != "" {
+			return sc.errAt(ev.Line, "%s: takes no target", ev.Action)
+		}
+	}
+	allowed := map[string]bool{}
+	for _, p := range spec.required {
+		allowed[p] = true
+		if ev.Params[p] == "" {
+			return sc.errAt(ev.Line, "%s: missing required param %q", ev.Action, p)
+		}
+	}
+	for _, p := range spec.optional {
+		allowed[p] = true
+	}
+	for p := range ev.Params {
+		if !allowed[p] {
+			return sc.errAt(ev.Line, "%s: unknown param %q", ev.Action, p)
+		}
+	}
+	// Typed parameter checks.
+	for _, p := range []string{"runtime", "interval", "timeout", "duration"} {
+		if v, ok := ev.Params[p]; ok {
+			if d, err := time.ParseDuration(v); err != nil || d < 0 {
+				return sc.errAt(ev.Line, "%s: %s: not a duration: %q", ev.Action, p, v)
+			}
+		}
+	}
+	for _, p := range []string{"pods", "count", "rounds", "bytes"} {
+		if v, ok := ev.Params[p]; ok {
+			if n, err := strconv.Atoi(v); err != nil || n < 1 {
+				return sc.errAt(ev.Line, "%s: %s: must be a positive integer, got %q", ev.Action, p, v)
+			}
+		}
+	}
+	if t, ok := ev.Params["tenant"]; ok && !tenants[t] {
+		return sc.errAt(ev.Line, "%s: unknown tenant %q", ev.Action, t)
+	}
+	if ev.Action == "partition_fabric" {
+		for _, n := range splitList(ev.Params["nodes"]) {
+			if !sc.validNode(n) {
+				return sc.errAt(ev.Line, "partition_fabric: unknown node %q", n)
+			}
+		}
+	}
+	return nil
+}
+
+func (sc *Scenario) validateAssertion(a *Assertion, tenants map[string]bool) error {
+	kind, ok := assertionTargets[a.Type]
+	if !ok {
+		if a.Type == "" {
+			return sc.errAt(a.Line, "assertion needs a type")
+		}
+		return sc.errAt(a.Line, "unknown assertion type %q", a.Type)
+	}
+	if _, ok := compareOps[a.Op]; !ok {
+		return sc.errAt(a.Line, "assertion op must be one of == != < <= > >=, got %q", a.Op)
+	}
+	switch kind {
+	case "":
+		if a.Target != "" {
+			return sc.errAt(a.Line, "%s: takes no target", a.Type)
+		}
+	case "tenant":
+		if a.Target != "" && !tenants[a.Target] {
+			return sc.errAt(a.Line, "%s: unknown tenant %q", a.Type, a.Target)
+		}
+	case "reason":
+		if _, ok := fabric.DropReasonByName(a.Target); !ok {
+			return sc.errAt(a.Line, "%s: target must be a drop reason (e.g. link_down, vni_ingress_denied), got %q",
+				a.Type, a.Target)
+		}
+	case "stat":
+		if !latencyStats[a.Target] {
+			return sc.errAt(a.Line, "%s: target must be one of p50, p90, p99, max, mean, got %q", a.Type, a.Target)
+		}
+	}
+	if a.Value == "" {
+		return sc.errAt(a.Line, "%s: missing value", a.Type)
+	}
+	if _, err := parseExpected(a.Value); err != nil {
+		return sc.errAt(a.Line, "%s: value: %v", a.Type, err)
+	}
+	return nil
+}
+
+// parseExpected turns an assertion value into a comparable number; booleans
+// map to 0/1.
+func parseExpected(v string) (float64, error) {
+	if b, err := strconv.ParseBool(v); err == nil {
+		if b {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a number or boolean: %q", v)
+	}
+	return f, nil
+}
+
+func (sc *Scenario) validNode(name string) bool {
+	for i := 0; i < sc.Fleet.Nodes; i++ {
+		if name == fmt.Sprintf("node%d", i) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitList splits a comma-separated parameter into its non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

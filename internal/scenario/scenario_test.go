@@ -1,0 +1,316 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// minimal returns a parseable scenario skeleton for mutation in tests.
+const minimal = `
+name: t
+fleet:
+  nodes: 2
+  tenants:
+    - name: a
+events:
+  - at: 0s
+    action: start_fleet
+`
+
+func mustParse(t *testing.T, src string) *Scenario {
+	t.Helper()
+	sc, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return sc
+}
+
+func TestParseFullScenario(t *testing.T) {
+	sc := mustParse(t, `
+# comment
+name: full
+description: "quoted description"
+seed: 42
+fleet:
+  nodes: 3
+  vniPoolMin: 100
+  vniPoolMax: 200
+  quarantine: 10s
+  tenants:
+    - name: a
+    - name: b
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 1s
+    action: submit_job
+    tenant: a
+    name: j1
+    pods: 2
+    runtime: 1h
+    vni: "true"
+  - at: 2s
+    action: inject_nic_failure
+    target: node2
+assertions:
+  - type: vnis_allocated
+    value: 1
+  - type: latency_us
+    target: p50
+    op: "<="
+    value: 5.0
+`)
+	if sc.Name != "full" || sc.Seed != 42 || sc.Fleet.Nodes != 3 {
+		t.Errorf("header mismatch: %+v", sc)
+	}
+	if sc.Description != "quoted description" {
+		t.Errorf("description = %q", sc.Description)
+	}
+	if len(sc.Fleet.Tenants) != 2 || sc.Fleet.Tenants[1].Name != "b" {
+		t.Errorf("tenants = %+v", sc.Fleet.Tenants)
+	}
+	if len(sc.Events) != 3 || len(sc.Assertions) != 2 {
+		t.Fatalf("got %d events, %d assertions", len(sc.Events), len(sc.Assertions))
+	}
+	ev := sc.Events[1]
+	if ev.Action != "submit_job" || ev.Params["vni"] != "true" || ev.Params["pods"] != "2" {
+		t.Errorf("event = %+v", ev)
+	}
+	if sc.Assertions[1].Op != "<=" || sc.Assertions[1].Target != "p50" {
+		t.Errorf("assertion = %+v", sc.Assertions[1])
+	}
+}
+
+// TestParseErrorsAreLineAnchored checks that structural and semantic
+// failures name the offending line — the contract `shssim validate` and
+// editors depend on.
+func TestParseErrorsAreLineAnchored(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab indent", "name: x\nevents:\n\t- at: 0s\n", "line 3"},
+		{"bad line", "name: x\nfleet:\n  nodes 2\n", "line 3"},
+		{"duplicate key", "name: x\nname: y\n", "line 2"},
+		{"bad item indent", "name: x\nevents:\n  - at: 0s\n      action: start_fleet\n", "line 4"},
+		{"unknown action", minimal + "  - at: 1s\n    action: warp_drive\n", ":10:"},
+		{"missing param", minimal + "  - at: 1s\n    action: submit_job\n", ":10:"},
+		{"events out of order", minimal + "  - at: 5s\n    action: heal_partition\n  - at: 1s\n    action: heal_partition\n", ":12:"},
+		{"unknown tenant", minimal + "  - at: 1s\n    action: submit_job\n    tenant: ghost\n    name: j\n", ":10:"},
+		{"bad node target", minimal + "  - at: 1s\n    action: inject_nic_failure\n    target: node9\n", ":10:"},
+		{"unknown assertion", minimal + "assertions:\n  - type: quantum_flux\n    value: 1\n", ":11:"},
+		{"bad op", minimal + "assertions:\n  - type: vnis_allocated\n    op: \"~=\"\n    value: 1\n", ":11:"},
+		{"bad drop reason", minimal + "assertions:\n  - type: switch_drops\n    target: gremlins\n    value: 1\n", ":11:"},
+		{"value not a number", minimal + "assertions:\n  - type: vnis_allocated\n    value: lots\n", ":11:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatal("want error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRequiresStartFleetFirst(t *testing.T) {
+	_, err := Parse(strings.NewReader("name: x\nevents:\n  - at: 0s\n    action: heal_partition\n"))
+	if err == nil || !strings.Contains(err.Error(), "start_fleet") {
+		t.Fatalf("want start_fleet error, got %v", err)
+	}
+}
+
+const smokeScenario = `
+name: smoke
+seed: 1
+fleet:
+  nodes: 2
+  tenants:
+    - name: a
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 0s
+    action: submit_job
+    tenant: a
+    name: j
+    pods: 2
+    runtime: 1h
+    vni: "true"
+  - at: 0s
+    action: wait_running
+    tenant: a
+    pods: 2
+  - at: 0s
+    action: pingpong
+    tenant: a
+    job: j
+    rounds: 50
+assertions:
+  - type: vnis_allocated
+    value: 1
+  - type: pods_running
+    target: a
+    value: 2
+  - type: latency_us
+    target: p50
+    op: "<="
+    value: 10
+  - type: isolation_violations
+    value: 0
+`
+
+func TestRunSmokeScenario(t *testing.T) {
+	res := Run(mustParse(t, smokeScenario))
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	if !res.Passed() {
+		for _, a := range res.Asserts {
+			t.Logf("%s", a)
+		}
+		t.Fatal("scenario failed")
+	}
+}
+
+// TestRunIsDeterministic is the engine's core guarantee: identical files
+// yield identical assertion actuals and identical logs.
+func TestRunIsDeterministic(t *testing.T) {
+	r1 := Run(mustParse(t, smokeScenario))
+	r2 := Run(mustParse(t, smokeScenario))
+	if r1.Err != nil || r2.Err != nil {
+		t.Fatalf("run errors: %v / %v", r1.Err, r2.Err)
+	}
+	if !reflect.DeepEqual(r1.Asserts, r2.Asserts) {
+		t.Errorf("assertion results differ:\n%v\n%v", r1.Asserts, r2.Asserts)
+	}
+	if !reflect.DeepEqual(r1.Log, r2.Log) {
+		t.Errorf("logs differ:\n%v\n%v", r1.Log, r2.Log)
+	}
+	if r1.SimTime != r2.SimTime {
+		t.Errorf("sim times differ: %v vs %v", r1.SimTime, r2.SimTime)
+	}
+}
+
+// TestRunNICFailureDropsTraffic exercises the fault-injection hooks end to
+// end: traffic blackholes with link_down drops while pods stay running,
+// and flows again after recovery.
+func TestRunNICFailureDropsTraffic(t *testing.T) {
+	res := Run(mustParse(t, `
+name: nicfail
+fleet:
+  nodes: 2
+  tenants:
+    - name: a
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 0s
+    action: submit_job
+    tenant: a
+    name: j
+    pods: 2
+    runtime: 1h
+    vni: "true"
+  - at: 0s
+    action: wait_running
+    tenant: a
+    pods: 2
+  - at: 1s
+    action: inject_nic_failure
+    target: node1
+  - at: 1s
+    action: pingpong
+    tenant: a
+    job: j
+    rounds: 5
+    timeout: 1s
+    tolerate_stall: true
+  - at: 3s
+    action: recover_nic
+    target: node1
+  - at: 3s
+    action: pingpong
+    tenant: a
+    job: j
+    rounds: 20
+assertions:
+  - type: switch_drops
+    target: link_down
+    op: ">="
+    value: 1
+  - type: pods_running
+    target: a
+    value: 2
+`))
+	if res.Err != nil {
+		t.Fatalf("run error: %v", res.Err)
+	}
+	if !res.Passed() {
+		for _, a := range res.Asserts {
+			t.Logf("%s", a)
+		}
+		t.Fatal("scenario failed")
+	}
+}
+
+// TestRunFailingAssertionReported checks a false assertion turns into a
+// failed (but not errored) result.
+func TestRunFailingAssertionReported(t *testing.T) {
+	res := Run(mustParse(t, minimal+`assertions:
+  - type: vnis_allocated
+    value: 99
+`))
+	if res.Err != nil {
+		t.Fatalf("unexpected run error: %v", res.Err)
+	}
+	if res.Passed() {
+		t.Fatal("want failure")
+	}
+	if len(res.Asserts) != 1 || res.Asserts[0].Pass || res.Asserts[0].Actual != 0 {
+		t.Errorf("asserts = %+v", res.Asserts)
+	}
+}
+
+// TestRunEventErrorAnchored checks mid-run failures carry the event's line.
+func TestRunEventErrorAnchored(t *testing.T) {
+	res := Run(mustParse(t, minimal+`  - at: 1s
+    action: wait_running
+    tenant: a
+    pods: 2
+    timeout: 1s
+`))
+	if res.Err == nil {
+		t.Fatal("want timeout error")
+	}
+	if !strings.Contains(res.Err.Error(), ":10:") {
+		t.Errorf("error %q not anchored to event line", res.Err)
+	}
+	if res.Passed() {
+		t.Error("errored run must not pass")
+	}
+}
+
+// TestRunRecoversPanicIntoResult feeds Run a scenario that panics mid-event
+// (no start_fleet, so the stack is nil — only constructible by bypassing
+// Validate) and requires a non-nil Result carrying the panic as Err.
+func TestRunRecoversPanicIntoResult(t *testing.T) {
+	sc := &Scenario{
+		Name:   "panics",
+		Events: []Event{{Action: "run_for", Params: map[string]string{"duration": "1s"}}},
+	}
+	res := Run(sc)
+	if res == nil {
+		t.Fatal("Run returned nil Result after recovered panic")
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "panic") {
+		t.Errorf("Err = %v, want recovered panic", res.Err)
+	}
+	if res.Passed() {
+		t.Error("panicked run must not pass")
+	}
+}

@@ -1,0 +1,251 @@
+package scenario
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ErrSyntax wraps structural parse failures. Every error produced by this
+// file carries the 1-based line number it is anchored to.
+var ErrSyntax = errors.New("scenario: syntax error")
+
+// The scenario file format is the YAML subset the bundled scenarios use:
+// block mappings, block sequences ("- " items), scalar values (plain,
+// quoted), and "#" comments. Unlike internal/manifest's parser it supports
+// sequences, which scenarios need for events and assertions; it still
+// rejects what it does not understand rather than guessing (no flow
+// syntax, anchors, multi-line scalars or tabs).
+
+type nodeKind int
+
+const (
+	scalarNode nodeKind = iota
+	mapNode
+	seqNode
+)
+
+// value is one parsed YAML value annotated with its source line.
+type value struct {
+	kind   nodeKind
+	line   int
+	scalar string
+	keys   []string // mapNode: insertion order
+	child  map[string]*value
+	items  []*value // seqNode
+}
+
+func newMapValue(line int) *value {
+	return &value{kind: mapNode, line: line, child: make(map[string]*value)}
+}
+
+// get returns the child at a dotted path, or nil.
+func (v *value) get(path ...string) *value {
+	cur := v
+	for _, p := range path {
+		if cur == nil || cur.kind != mapNode {
+			return nil
+		}
+		cur = cur.child[p]
+	}
+	return cur
+}
+
+// str returns the scalar at path, or "".
+func (v *value) str(path ...string) string {
+	c := v.get(path...)
+	if c == nil || c.kind != scalarNode {
+		return ""
+	}
+	return c.scalar
+}
+
+// rawLine is one significant source line.
+type rawLine struct {
+	indent int
+	text   string // content with indentation stripped
+	line   int
+}
+
+// parseTree reads the whole stream into a single document tree.
+func parseTree(r io.Reader) (*value, error) {
+	sc := bufio.NewScanner(r)
+	var lines []rawLine
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Text()
+		trimmed := strings.TrimSpace(raw)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") || trimmed == "---" {
+			continue
+		}
+		indent := 0
+		for indent < len(raw) && raw[indent] == ' ' {
+			indent++
+		}
+		if strings.ContainsRune(raw[:indent], '\t') {
+			return nil, fmt.Errorf("%w: line %d: tabs are not allowed in indentation", ErrSyntax, lineNo)
+		}
+		lines = append(lines, rawLine{indent: indent, text: trimmed, line: lineNo})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("%w: line 1: empty document", ErrSyntax)
+	}
+	if lines[0].indent != 0 {
+		return nil, fmt.Errorf("%w: line %d: document must start at column 0", ErrSyntax, lines[0].line)
+	}
+	root, rest, err := parseBlock(lines, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: line %d: unexpected dedent", ErrSyntax, rest[0].line)
+	}
+	return root, nil
+}
+
+// parseBlock parses lines at exactly `indent` as a mapping or sequence,
+// returning the remaining (shallower) lines.
+func parseBlock(lines []rawLine, indent int) (*value, []rawLine, error) {
+	if isDashItem(lines[0].text) {
+		return parseSeq(lines, indent)
+	}
+	return parseMap(lines, indent)
+}
+
+func isDashItem(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+// parseSeq consumes "- " items at `indent`.
+func parseSeq(lines []rawLine, indent int) (*value, []rawLine, error) {
+	seq := &value{kind: seqNode, line: lines[0].line}
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			return seq, lines, nil
+		}
+		if l.indent > indent {
+			return nil, nil, fmt.Errorf("%w: line %d: unexpected indent", ErrSyntax, l.line)
+		}
+		if !isDashItem(l.text) {
+			return nil, nil, fmt.Errorf("%w: line %d: expected \"- \" sequence item, got %q", ErrSyntax, l.line, l.text)
+		}
+		lines = lines[1:]
+		inline := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		itemIndent := indent + 2
+
+		// Gather the item's continuation lines (deeper than the dash).
+		var itemLines []rawLine
+		if inline != "" {
+			itemLines = append(itemLines, rawLine{indent: itemIndent, text: inline, line: l.line})
+		}
+		for len(lines) > 0 && lines[0].indent > indent {
+			if lines[0].indent != itemIndent {
+				return nil, nil, fmt.Errorf("%w: line %d: sequence item fields must be indented %d spaces",
+					ErrSyntax, lines[0].line, itemIndent)
+			}
+			itemLines = append(itemLines, lines[0])
+			lines = lines[1:]
+		}
+		if len(itemLines) == 0 {
+			return nil, nil, fmt.Errorf("%w: line %d: empty sequence item", ErrSyntax, l.line)
+		}
+		// A single inline value with no "key:" shape is a scalar item.
+		if len(itemLines) == 1 && itemLines[0].line == l.line {
+			if _, _, ok := splitKV(itemLines[0].text); !ok {
+				seq.items = append(seq.items, &value{kind: scalarNode, line: l.line, scalar: cleanScalar(inline)})
+				continue
+			}
+		}
+		item, rest, err := parseMap(itemLines, itemIndent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rest) != 0 {
+			return nil, nil, fmt.Errorf("%w: line %d: unexpected dedent", ErrSyntax, rest[0].line)
+		}
+		item.line = l.line
+		seq.items = append(seq.items, item)
+	}
+	return seq, lines, nil
+}
+
+// parseMap consumes "key: value" / "key:" lines at exactly `indent`.
+func parseMap(lines []rawLine, indent int) (*value, []rawLine, error) {
+	m := newMapValue(lines[0].line)
+	for len(lines) > 0 {
+		l := lines[0]
+		if l.indent < indent {
+			return m, lines, nil
+		}
+		if l.indent > indent {
+			return nil, nil, fmt.Errorf("%w: line %d: unexpected indent", ErrSyntax, l.line)
+		}
+		key, val, ok := splitKV(l.text)
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: line %d: expected \"key: value\" or \"key:\", got %q", ErrSyntax, l.line, l.text)
+		}
+		if _, dup := m.child[key]; dup {
+			return nil, nil, fmt.Errorf("%w: line %d: duplicate key %q", ErrSyntax, l.line, key)
+		}
+		lines = lines[1:]
+		if val != "" {
+			m.keys = append(m.keys, key)
+			m.child[key] = &value{kind: scalarNode, line: l.line, scalar: val}
+			continue
+		}
+		// "key:" — block child if deeper lines follow, else empty scalar.
+		if len(lines) > 0 && lines[0].indent > indent {
+			child, rest, err := parseBlock(lines, lines[0].indent)
+			if err != nil {
+				return nil, nil, err
+			}
+			m.keys = append(m.keys, key)
+			m.child[key] = child
+			lines = rest
+			continue
+		}
+		m.keys = append(m.keys, key)
+		m.child[key] = &value{kind: scalarNode, line: l.line}
+	}
+	return m, lines, nil
+}
+
+// splitKV separates "key: value", honoring quoted values, trailing comments
+// and trailing-colon block keys. ok is false when the text is not key-shaped.
+func splitKV(s string) (key, val string, ok bool) {
+	i := strings.Index(s, ":")
+	if i <= 0 {
+		return "", "", false
+	}
+	// "key:value" without a space is a plain scalar (e.g. a time "00:05"),
+	// not a mapping entry; "key:" at end of line is a block key.
+	if i+1 < len(s) && s[i+1] != ' ' {
+		return "", "", false
+	}
+	key = strings.TrimSpace(s[:i])
+	if strings.ContainsAny(key, " \"'") {
+		return "", "", false
+	}
+	return key, cleanScalar(strings.TrimSpace(s[i+1:])), true
+}
+
+// cleanScalar strips trailing comments and surrounding quotes.
+func cleanScalar(v string) string {
+	if len(v) > 0 && (v[0] == '"' || v[0] == '\'') {
+		if j := strings.IndexByte(v[1:], v[0]); j >= 0 {
+			return v[1 : j+1]
+		}
+		return v
+	}
+	if j := strings.Index(v, " #"); j >= 0 {
+		v = strings.TrimSpace(v[:j])
+	}
+	return v
+}

@@ -137,6 +137,28 @@ func (e *Engine) RunUntil(deadline Time) {
 // RunFor advances the simulation by d.
 func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 
+// RunUntilDone executes events until cond reports true or virtual time
+// would pass deadline, and returns cond's final value. When cond never
+// becomes true the clock is left at deadline, so a failed wait consumes
+// exactly its timeout — the primitive behind the scenario engine's
+// wait_-style actions.
+func (e *Engine) RunUntilDone(cond func() bool, deadline Time) bool {
+	for !cond() {
+		next := e.peek()
+		if next == nil || next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if cond() {
+		return true
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return cond()
+}
+
 // Pending returns the number of queued (non-cancelled) events.
 func (e *Engine) Pending() int {
 	n := 0

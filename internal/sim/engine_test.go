@@ -255,3 +255,45 @@ func TestQuickCancellationSubset(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRunUntilDoneStopsWhenConditionHolds(t *testing.T) {
+	e := NewEngine(1)
+	hits := 0
+	for i := 1; i <= 5; i++ {
+		e.After(Duration(i)*time.Second, func() { hits++ })
+	}
+	ok := e.RunUntilDone(func() bool { return hits >= 3 }, Time(10*time.Second))
+	if !ok {
+		t.Fatal("condition never reported true")
+	}
+	if hits != 3 {
+		t.Errorf("hits = %d, want 3 (no extra events executed)", hits)
+	}
+	if e.Now() != Time(3*time.Second) {
+		t.Errorf("clock = %v, want 3s (time of the satisfying event)", e.Now())
+	}
+}
+
+func TestRunUntilDoneTimeoutConsumesDeadline(t *testing.T) {
+	e := NewEngine(1)
+	e.After(time.Second, func() {})
+	ok := e.RunUntilDone(func() bool { return false }, Time(4*time.Second))
+	if ok {
+		t.Fatal("condition cannot be true")
+	}
+	if e.Now() != Time(4*time.Second) {
+		t.Errorf("clock = %v, want exactly the deadline", e.Now())
+	}
+}
+
+func TestRunUntilDoneImmediateConditionRunsNothing(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.After(time.Second, func() { ran = true })
+	if !e.RunUntilDone(func() bool { return true }, Time(10*time.Second)) {
+		t.Fatal("want immediate true")
+	}
+	if ran || e.Now() != 0 {
+		t.Errorf("engine advanced (ran=%v now=%v) despite satisfied condition", ran, e.Now())
+	}
+}

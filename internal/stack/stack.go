@@ -153,6 +153,47 @@ func (l *lazyRuntime) SetupPod(pod *k8s.Pod, done func(error)) { l.resolve().Set
 // TeardownPod implements k8s.Runtime.
 func (l *lazyRuntime) TeardownPod(pod *k8s.Pod, done func()) { l.resolve().TeardownPod(pod, done) }
 
+// FailNIC administratively downs the named node's NIC port on the switch,
+// modelling a NIC or cable fault: all traffic to or from the node is dropped
+// with fabric.DropLinkDown until RecoverNIC.
+func (s *Stack) FailNIC(node string) error {
+	n, ok := s.NodeByName(node)
+	if !ok {
+		return fmt.Errorf("stack: fail nic: unknown node %q", node)
+	}
+	return s.Switch.SetPortDown(n.Device.Addr(), true)
+}
+
+// RecoverNIC brings a failed NIC back. VNI grants were retained, so traffic
+// flows again immediately.
+func (s *Stack) RecoverNIC(node string) error {
+	n, ok := s.NodeByName(node)
+	if !ok {
+		return fmt.Errorf("stack: recover nic: unknown node %q", node)
+	}
+	return s.Switch.SetPortDown(n.Device.Addr(), false)
+}
+
+// PartitionFabric splits the fabric in two: the named nodes form one
+// partition group, every other port (including rogue test ports) the other.
+// Cross-partition packets drop with fabric.DropPartitioned until
+// HealPartition.
+func (s *Stack) PartitionFabric(nodes []string) error {
+	groups := make(map[fabric.Addr]int, len(nodes))
+	for _, name := range nodes {
+		n, ok := s.NodeByName(name)
+		if !ok {
+			return fmt.Errorf("stack: partition: unknown node %q", name)
+		}
+		groups[n.Device.Addr()] = 1
+	}
+	s.Switch.SetPartition(groups)
+	return nil
+}
+
+// HealPartition removes any fabric partition.
+func (s *Stack) HealPartition() { s.Switch.SetPartition(nil) }
+
 // NodeByName returns the node bundle.
 func (s *Stack) NodeByName(name string) (*Node, bool) {
 	for _, n := range s.Nodes {

@@ -93,6 +93,15 @@ func Install(api *k8s.APIServer, jobCtl *k8s.JobController, db *vnidb.DB, cfg Co
 	return &Service{Endpoint: ep, JobCtl: jobDecorator, ClaimCtl: claimDecorator}
 }
 
+// Resync requeues every vni-annotated job and claim through the webhook,
+// mirroring Metacontroller's periodic resync. Scenario runs use it after
+// capacity frees (e.g. post-exhaustion) so jobs whose sync previously failed
+// retry without waiting for another parent event.
+func (s *Service) Resync() {
+	s.JobCtl.Resync()
+	s.ClaimCtl.Resync()
+}
+
 // hasVNIFor reports whether a VNI CRD instance exists for the job.
 func hasVNIFor(api *k8s.APIServer, namespace, jobName string) bool {
 	for _, obj := range api.List(vniapi.KindVNI, namespace) {
