@@ -79,14 +79,14 @@ func runDemo(w io.Writer, st *stack.Stack, cfg config) {
 	fmt.Fprintln(w, "== Slingshot-K8s demo cluster (2 nodes, VNI service installed) ==")
 
 	// A claim shared by two jobs (paper Listings 2+3).
-	st.Cluster.API.Create(vnisvc.NewClaim("demo", cfg.Claim, cfg.Claim), nil)
+	st.Cluster.Client.Create(vnisvc.NewClaim("demo", cfg.Claim, cfg.Claim))
 	st.Eng.RunFor(2 * time.Second)
 	for i := 0; i < 2; i++ {
 		job := k8s.EchoJob("demo", fmt.Sprintf("claim-job-%d", i),
 			map[string]string{vniapi.Annotation: cfg.Claim})
 		job.Spec.Template.RunDuration = 8 * time.Second
 		job.Spec.DeleteAfterFinished = false
-		st.Cluster.SubmitJob(job, nil)
+		st.Cluster.SubmitJob(job)
 	}
 	// Per-resource VNI jobs (paper Listing 1).
 	for i := 0; i < cfg.Jobs; i++ {
@@ -94,10 +94,10 @@ func runDemo(w io.Writer, st *stack.Stack, cfg config) {
 			map[string]string{vniapi.Annotation: vniapi.AnnotationValueTrue})
 		job.Spec.Template.RunDuration = 5 * time.Second
 		job.Spec.DeleteAfterFinished = false
-		st.Cluster.SubmitJob(job, nil)
+		st.Cluster.SubmitJob(job)
 	}
 	// One plain job without Slingshot access.
-	st.Cluster.SubmitJob(k8s.EchoJob("demo", "plain-job", nil), nil)
+	st.Cluster.SubmitJob(k8s.EchoJob("demo", "plain-job", nil))
 
 	for tick := 0; tick < 12; tick++ {
 		st.Eng.RunFor(2 * time.Second)
@@ -105,12 +105,12 @@ func runDemo(w io.Writer, st *stack.Stack, cfg config) {
 	}
 
 	fmt.Fprintln(w, "\n== deleting all jobs ==")
-	for _, obj := range st.Cluster.API.List(k8s.KindJob, "demo") {
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindJob).List("demo") {
 		m := obj.GetMeta()
-		st.Cluster.API.Delete(k8s.KindJob, m.Namespace, m.Name, nil)
+		st.Cluster.Client.Delete(k8s.KindJob, m.Namespace, m.Name)
 	}
 	st.Eng.RunFor(20 * time.Second)
-	st.Cluster.API.Delete(vniapi.KindVniClaim, "demo", cfg.Claim, nil)
+	st.Cluster.Client.Delete(vniapi.KindVniClaim, "demo", cfg.Claim)
 	st.Eng.RunFor(20 * time.Second)
 	printState(w, st, -1)
 
@@ -133,7 +133,7 @@ func printState(w io.Writer, st *stack.Stack, tick int) {
 	fmt.Fprintf(w, "\n-- %s --\n", label)
 	fmt.Fprintf(w, "%-16s %-10s %-8s %-9s %s\n", "JOB", "STATUS", "ACTIVE", "SUCCEEDED", "VNI")
 	vniByJob := map[string]string{}
-	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "demo") {
+	for _, obj := range st.Cluster.Client.Lister(vniapi.KindVNI).List("demo") {
 		cr := obj.(*k8s.Custom)
 		v := cr.Spec[vniapi.SpecVNI]
 		if cr.Spec[vniapi.SpecVirtual] == "true" {
@@ -141,7 +141,7 @@ func printState(w io.Writer, st *stack.Stack, tick int) {
 		}
 		vniByJob[cr.Spec[vniapi.SpecJob]] = v
 	}
-	for _, obj := range st.Cluster.API.List(k8s.KindJob, "demo") {
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindJob).List("demo") {
 		job := obj.(*k8s.Job)
 		status := "Running"
 		if job.Status.Completed {
@@ -188,11 +188,10 @@ func runManifest(w io.Writer, st *stack.Stack, path string) error {
 	st.Eng.RunFor(time.Second)
 	for _, obj := range objs {
 		m := obj.GetMeta()
-		var createErr error
-		st.Cluster.API.Create(obj, func(err error) { createErr = err })
+		resp := st.Cluster.Client.Create(obj)
 		st.Eng.RunFor(time.Second)
-		if createErr != nil {
-			return fmt.Errorf("creating %s %s: %w", m.Kind, m.Key(), createErr)
+		if err := resp.Err(); err != nil {
+			return fmt.Errorf("creating %s %s: %w", m.Kind, m.Key(), err)
 		}
 		fmt.Fprintf(w, "%s/%s created\n", m.Kind, m.Name)
 	}
@@ -226,7 +225,7 @@ func runManifest(w io.Writer, st *stack.Stack, path string) error {
 			fmt.Fprintf(w, "vniclaim %s: present\n", m.Name)
 		}
 	}
-	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "") {
+	for _, obj := range st.Cluster.Client.Lister(vniapi.KindVNI).List("") {
 		cr := obj.(*k8s.Custom)
 		fmt.Fprintf(w, "vni CRD %s: vni=%s job=%s\n", cr.Meta.Name, cr.Spec[vniapi.SpecVNI], cr.Spec[vniapi.SpecJob])
 	}

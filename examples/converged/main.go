@@ -61,7 +61,7 @@ func main() {
 	kjob := k8s.EchoJob("cloud", "workflow", map[string]string{vniapi.Annotation: "true"})
 	kjob.Spec.Template.RunDuration = time.Hour
 	kjob.Spec.DeleteAfterFinished = false
-	st.Cluster.SubmitJob(kjob, nil)
+	st.Cluster.SubmitJob(kjob)
 	st.Eng.RunFor(10 * time.Second)
 	k8sVNI := cloudVNI(st)
 	fmt.Printf("k8s job workflow: VNI %d via VNI Service (netns-member auth)\n\n", k8sVNI)
@@ -112,13 +112,13 @@ func main() {
 	if err := drcSvc.Release(cred.ID, 4001); err != nil {
 		log.Fatal(err)
 	}
-	st.Cluster.API.Delete(k8s.KindJob, "cloud", "workflow", nil)
+	st.Cluster.Client.Delete(k8s.KindJob, "cloud", "workflow")
 	st.Eng.RunFor(20 * time.Second)
 	fmt.Printf("\nafter teardown: %+v (all VNIs quarantined, none allocated)\n", st.DB.Stats())
 }
 
 func cloudVNI(st *stack.Stack) fabric.VNI {
-	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "cloud") {
+	for _, obj := range st.Cluster.Client.Lister(vniapi.KindVNI).List("cloud") {
 		cr := obj.(*k8s.Custom)
 		v, err := strconv.ParseUint(cr.Spec[vniapi.SpecVNI], 10, 32)
 		if err == nil {
@@ -130,7 +130,7 @@ func cloudVNI(st *stack.Stack) fabric.VNI {
 }
 
 func firstRunningPod(st *stack.Stack, ns string) *k8s.Pod {
-	for _, obj := range st.Cluster.API.List(k8s.KindPod, ns) {
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindPod).List(ns) {
 		pod := obj.(*k8s.Pod)
 		if pod.Status.Phase == k8s.PodRunning {
 			return pod

@@ -37,7 +37,7 @@ func main() {
 		job.Spec.Parallelism = 2 // one pod per node: both NICs carry both tenants
 		job.Spec.Template.RunDuration = time.Hour
 		job.Spec.DeleteAfterFinished = false
-		st.Cluster.SubmitJob(job, nil)
+		st.Cluster.SubmitJob(job)
 	}
 	st.Eng.RunFor(10 * time.Second)
 
@@ -111,7 +111,7 @@ type dropSink struct{}
 func (dropSink) ReceivePacket(*fabric.Packet) {}
 
 func tenantVNI(st *stack.Stack, ns string) fabric.VNI {
-	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, ns) {
+	for _, obj := range st.Cluster.Client.Lister(vniapi.KindVNI).List(ns) {
 		cr := obj.(*k8s.Custom)
 		v, err := strconv.ParseUint(cr.Spec[vniapi.SpecVNI], 10, 32)
 		if err == nil {
@@ -123,7 +123,7 @@ func tenantVNI(st *stack.Stack, ns string) fabric.VNI {
 }
 
 func podProcess(st *stack.Stack, ns string) (*nsmodel.Process, *stack.Node) {
-	for _, obj := range st.Cluster.API.List(k8s.KindPod, ns) {
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindPod).List(ns) {
 		pod := obj.(*k8s.Pod)
 		if pod.Status.Phase != k8s.PodRunning {
 			continue

@@ -39,7 +39,7 @@ func main() {
 			Template:    k8s.PodSpec{Image: "pingpong:latest", RunDuration: time.Hour},
 		},
 	}
-	st.Cluster.SubmitJob(job, nil)
+	st.Cluster.SubmitJob(job)
 
 	// 3. Wait for the pods; the scheduler spreads them across both nodes.
 	for i := 0; i < 100; i++ {
@@ -59,7 +59,7 @@ func main() {
 	// 5. Open an RDMA domain inside each pod. Authentication is by the
 	//    pod's network namespace — no UID/GID involved.
 	var doms []*libfabric.Domain
-	for _, obj := range st.Cluster.API.List(k8s.KindPod, "quickstart") {
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindPod).List("quickstart") {
 		pod := obj.(*k8s.Pod)
 		node, _ := st.NodeByName(pod.Spec.NodeName)
 		proc, err := node.Runtime.Exec(pod.Meta.Namespace, pod.Meta.Name, "rank", 0, 0)
@@ -103,7 +103,7 @@ func main() {
 
 	// 7. Tear down: deleting the job releases the VNI (after the 30 s
 	//    quarantine it becomes reusable).
-	st.Cluster.API.Delete(k8s.KindJob, "quickstart", "pingpong", nil)
+	st.Cluster.Client.Delete(k8s.KindJob, "quickstart", "pingpong")
 	st.Eng.RunFor(30 * time.Second)
 	stats := st.DB.Stats()
 	fmt.Printf("job deleted: %d VNIs allocated, %d quarantined\n", stats.Allocated, stats.Quarantined)
@@ -111,7 +111,7 @@ func main() {
 
 func running(st *stack.Stack) int {
 	n := 0
-	for _, obj := range st.Cluster.API.List(k8s.KindPod, "quickstart") {
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindPod).List("quickstart") {
 		if obj.(*k8s.Pod).Status.Phase == k8s.PodRunning {
 			n++
 		}
@@ -120,7 +120,7 @@ func running(st *stack.Stack) int {
 }
 
 func jobVNI(st *stack.Stack) fabric.VNI {
-	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "quickstart") {
+	for _, obj := range st.Cluster.Client.Lister(vniapi.KindVNI).List("quickstart") {
 		cr := obj.(*k8s.Custom)
 		if cr.Spec[vniapi.SpecJob] == "pingpong" {
 			v, err := strconv.ParseUint(cr.Spec[vniapi.SpecVNI], 10, 32)

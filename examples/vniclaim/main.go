@@ -27,7 +27,7 @@ func main() {
 
 	// 1. Create the claim (Listing 2: VniClaim "vni-claim-test",
 	//    spec.name "test").
-	st.Cluster.API.Create(vnisvc.NewClaim("vnitest", "vni-claim-test", "test"), nil)
+	st.Cluster.Client.Create(vnisvc.NewClaim("vnitest", "vni-claim-test", "test"))
 	st.Eng.RunFor(3 * time.Second)
 
 	// 2. Two jobs redeem the claim via annotation vni:vni-claim-test
@@ -38,14 +38,14 @@ func main() {
 		job := k8s.EchoJob("vnitest", name, map[string]string{vniapi.Annotation: "vni-claim-test"})
 		job.Spec.Template.RunDuration = time.Hour
 		job.Spec.DeleteAfterFinished = false
-		st.Cluster.SubmitJob(job, nil)
+		st.Cluster.SubmitJob(job)
 	}
 	st.Eng.RunFor(10 * time.Second)
 
 	// 3. Both jobs hold the same VNI; the redeeming jobs' VNI CRD
 	//    instances are "virtual" (non-owning).
 	var shared fabric.VNI
-	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, "vnitest") {
+	for _, obj := range st.Cluster.Client.Lister(vniapi.KindVNI).List("vnitest") {
 		cr := obj.(*k8s.Custom)
 		v, _ := strconv.ParseUint(cr.Spec[vniapi.SpecVNI], 10, 32)
 		fmt.Printf("VNI CRD %-22s vni=%d job=%-14s virtual=%v\n",
@@ -68,19 +68,19 @@ func main() {
 	fmt.Printf("\ncross-job transfer over claim VNI %d: checkpointer received %d bytes\n", shared, got)
 
 	// 5. Claim deletion stalls while users remain.
-	st.Cluster.API.Delete(vniapi.KindVniClaim, "vnitest", "vni-claim-test", nil)
+	st.Cluster.Client.Delete(vniapi.KindVniClaim, "vnitest", "vni-claim-test")
 	st.Eng.RunFor(5 * time.Second)
-	_, stillThere := st.Cluster.API.Get(vniapi.KindVniClaim, "vnitest", "vni-claim-test")
+	_, stillThere := st.Cluster.Client.Get(vniapi.KindVniClaim, "vnitest", "vni-claim-test")
 	fmt.Printf("claim deletion while 2 jobs use it: blocked=%v (stalled finalizations: %d)\n",
 		stillThere, st.VNISvc.Endpoint.Stats().StalledFinals)
 
 	// 6. Delete the jobs; the claim then finalizes and the VNI enters
 	//    quarantine.
 	for _, name := range []string{"solver", "checkpointer"} {
-		st.Cluster.API.Delete(k8s.KindJob, "vnitest", name, nil)
+		st.Cluster.Client.Delete(k8s.KindJob, "vnitest", name)
 	}
 	st.Eng.RunFor(30 * time.Second)
-	_, stillThere = st.Cluster.API.Get(vniapi.KindVniClaim, "vnitest", "vni-claim-test")
+	_, stillThere = st.Cluster.Client.Get(vniapi.KindVniClaim, "vnitest", "vni-claim-test")
 	fmt.Printf("after job deletion: claim present=%v, db=%+v\n", stillThere, st.DB.Stats())
 
 	// 7. Show the user bookkeeping from the audit log.
@@ -94,7 +94,7 @@ func main() {
 
 // podDomain opens an RDMA domain inside the first running pod of a job.
 func podDomain(st *stack.Stack, jobName string, vni fabric.VNI) *libfabric.Domain {
-	for _, obj := range st.Cluster.API.List(k8s.KindPod, "vnitest") {
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindPod).List("vnitest") {
 		pod := obj.(*k8s.Pod)
 		if pod.Meta.Labels["job-name"] != jobName || pod.Status.Phase != k8s.PodRunning {
 			continue

@@ -42,7 +42,7 @@ func newCNIEnv(t *testing.T) *cniEnv {
 		t.Fatal(err)
 	}
 	over := NewOverlayPlugin(eng, "node0", "10.42.0")
-	cxip := NewCXIPlugin(eng, api, dev, root.PID, DefaultCXIPluginConfig())
+	cxip := NewCXIPlugin(eng, api.Client(), dev, root.PID, DefaultCXIPluginConfig())
 	ch := NewChain(eng, 5*time.Millisecond, over, cxip)
 	return &cniEnv{eng: eng, kern: kern, api: api, sw: sw, dev: dev, root: root, cxip: cxip, over: over, ch: ch}
 }
@@ -56,7 +56,7 @@ func (e *cniEnv) createPod(t *testing.T, name string, annotations map[string]str
 			Labels:      map[string]string{"job-name": "job-" + name}},
 		Spec: k8s.PodSpec{TerminationGracePeriod: grace},
 	}
-	e.api.Create(pod, nil)
+	e.api.Create(pod)
 	e.eng.RunFor(time.Second)
 	return pod
 }
@@ -68,7 +68,7 @@ func (e *cniEnv) createVNICRD(t *testing.T, jobName string, vni fabric.VNI) {
 		Meta: k8s.Meta{Kind: vniapi.KindVNI, Namespace: "tenant", Name: "vni-" + jobName},
 		Spec: map[string]string{vniapi.SpecVNI: fmt.Sprint(vni), vniapi.SpecJob: jobName},
 	}
-	e.api.Create(cr, nil)
+	e.api.Create(cr)
 	e.eng.RunFor(time.Second)
 }
 
@@ -178,7 +178,7 @@ func TestAddRetriesUntilCRDAppears(t *testing.T) {
 			Meta: k8s.Meta{Kind: vniapi.KindVNI, Namespace: "tenant", Name: "vni-late"},
 			Spec: map[string]string{vniapi.SpecVNI: "777", vniapi.SpecJob: "job-late"},
 		}
-		e.api.Create(cr, nil)
+		e.api.Create(cr)
 	})
 	e.eng.RunFor(time.Minute)
 	if !completed {
@@ -241,7 +241,7 @@ func TestDelViaMemberSearchAfterPluginRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Simulate plugin restart: fresh plugin with empty state.
-	e.cxip = NewCXIPlugin(e.eng, e.api, e.dev, e.root.PID, DefaultCXIPluginConfig())
+	e.cxip = NewCXIPlugin(e.eng, e.api.Client(), e.dev, e.root.PID, DefaultCXIPluginConfig())
 	e.ch = NewChain(e.eng, 5*time.Millisecond, e.over, e.cxip)
 	if err := e.del(t, args); err != nil {
 		t.Fatal(err)
@@ -373,11 +373,11 @@ func TestQuickChainAddDelAccounting(t *testing.T) {
 						Annotations: map[string]string{vniapi.Annotation: "true"},
 						Labels:      map[string]string{"job-name": "job-" + name}},
 				}
-				e.api.Create(pod, nil)
+				e.api.Create(pod)
 				e.api.Create(&k8s.Custom{
 					Meta: k8s.Meta{Kind: vniapi.KindVNI, Namespace: "tenant", Name: "vni-job-" + name},
 					Spec: map[string]string{vniapi.SpecVNI: fmt.Sprint(2000 + next), vniapi.SpecJob: "job-" + name},
-				}, nil)
+				})
 				e.eng.RunFor(time.Second)
 				ns := e.kern.NewNetNS(name)
 				args := Args{ContainerID: "c-" + name, NetNS: ns.Inode, PodNamespace: "tenant", PodName: name}
@@ -425,7 +425,7 @@ func newCNIEnvQuick() *cniEnv {
 		panic(err)
 	}
 	over := NewOverlayPlugin(eng, "node0", "10.42.0")
-	cxip := NewCXIPlugin(eng, api, dev, root.PID, DefaultCXIPluginConfig())
+	cxip := NewCXIPlugin(eng, api.Client(), dev, root.PID, DefaultCXIPluginConfig())
 	ch := NewChain(eng, 5*time.Millisecond, over, cxip)
 	return &cniEnv{eng: eng, kern: kern, api: api, sw: sw, dev: dev, cxip: cxip, over: over, ch: ch}
 }

@@ -38,7 +38,7 @@ func newRTEnv(t *testing.T) *rtEnv {
 		t.Fatal(err)
 	}
 	over := cni.NewOverlayPlugin(eng, "node0", "10.42.0")
-	cxip := cni.NewCXIPlugin(eng, api, dev, root.PID, cni.DefaultCXIPluginConfig())
+	cxip := cni.NewCXIPlugin(eng, api.Client(), dev, root.PID, cni.DefaultCXIPluginConfig())
 	chain := cni.NewChain(eng, 5*time.Millisecond, over, cxip)
 	rt := NewRuntime(eng, kern, chain, DefaultConfig(), "node0")
 	return &rtEnv{eng: eng, kern: kern, api: api, dev: dev, sw: sw, rt: rt, cxip: cxip}
@@ -51,7 +51,7 @@ func (e *rtEnv) storePod(t *testing.T, name string, annotations map[string]strin
 			Annotations: annotations,
 			Labels:      map[string]string{"job-name": "job-" + name}},
 	}
-	e.api.Create(pod, nil)
+	e.api.Create(pod)
 	e.eng.RunFor(time.Second)
 	return pod
 }
@@ -61,7 +61,7 @@ func (e *rtEnv) storeVNICRD(t *testing.T, jobName string, vni fabric.VNI) {
 	e.api.Create(&k8s.Custom{
 		Meta: k8s.Meta{Kind: vniapi.KindVNI, Namespace: "ns", Name: "vni-" + jobName},
 		Spec: map[string]string{vniapi.SpecVNI: fmt.Sprint(vni), vniapi.SpecJob: jobName},
-	}, nil)
+	})
 	e.eng.RunFor(time.Second)
 }
 
@@ -181,7 +181,7 @@ func TestHostNetworkPodSkipsCNI(t *testing.T) {
 		Meta: k8s.Meta{Kind: k8s.KindPod, Namespace: "ns", Name: "hostpod"},
 		Spec: k8s.PodSpec{HostNetwork: true},
 	}
-	e.api.Create(pod, nil)
+	e.api.Create(pod)
 	e.eng.RunFor(time.Second)
 	if err := e.setup(t, pod); err != nil {
 		t.Fatal(err)

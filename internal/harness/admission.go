@@ -156,7 +156,7 @@ func runAdmissionOnce(opts AdmissionOptions, seed int64) (*AdmissionRun, error) 
 	doneCount := 0
 
 	// Track completions via job status updates.
-	st.Cluster.API.Watch(k8s.KindJob, func(ev k8s.Event) {
+	st.Cluster.Client.Watch(k8s.KindJob, k8s.WatchOptions{}, func(ev k8s.Event) {
 		if ev.Type != k8s.EventModified {
 			return
 		}
@@ -187,7 +187,7 @@ func runAdmissionOnce(opts AdmissionOptions, seed int64) (*AdmissionRun, error) 
 				rec := &JobRecord{Name: name, Batch: b, SubmitAt: st.Eng.Now()}
 				records[name] = rec
 				job := k8s.EchoJob("load", name, ann)
-				st.Cluster.SubmitJob(job, nil)
+				st.Cluster.SubmitJob(job)
 			}
 		})
 		total += n

@@ -175,7 +175,7 @@ func podDomains(st *stack.Stack, vni bool) ([]*libfabric.Domain, error) {
 			},
 		},
 	}
-	st.Cluster.SubmitJob(job, nil)
+	st.Cluster.SubmitJob(job)
 
 	// Wait for both pods to be Running.
 	deadline := st.Eng.Now().Add(2 * time.Minute)
@@ -199,7 +199,7 @@ func podDomains(st *stack.Stack, vni bool) ([]*libfabric.Domain, error) {
 	}
 
 	var doms []*libfabric.Domain
-	for _, obj := range st.Cluster.API.List(k8s.KindPod, "bench") {
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindPod).List("bench") {
 		pod := obj.(*k8s.Pod)
 		if pod.Status.Phase != k8s.PodRunning {
 			continue
@@ -227,7 +227,7 @@ func podDomains(st *stack.Stack, vni bool) ([]*libfabric.Domain, error) {
 
 func runningPods(st *stack.Stack) int {
 	n := 0
-	for _, obj := range st.Cluster.API.List(k8s.KindPod, "bench") {
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindPod).List("bench") {
 		if obj.(*k8s.Pod).Status.Phase == k8s.PodRunning {
 			n++
 		}
@@ -235,13 +235,11 @@ func runningPods(st *stack.Stack) int {
 	return n
 }
 
-// jobVNI reads the VNI assigned to a job from its VNI CRD instance.
+// jobVNI reads the VNI assigned to a job from its VNI CRD instance via the
+// by-job index.
 func jobVNI(st *stack.Stack, namespace, jobName string) (fabric.VNI, error) {
-	for _, obj := range st.Cluster.API.List(vniapi.KindVNI, namespace) {
+	for _, obj := range vniapi.VNILister(st.Cluster.Client).ByIndex(vniapi.IndexVNIByJob, namespace+"/"+jobName) {
 		cr := obj.(*k8s.Custom)
-		if cr.Spec[vniapi.SpecJob] != jobName {
-			continue
-		}
 		v, err := strconv.ParseUint(cr.Spec[vniapi.SpecVNI], 10, 32)
 		if err != nil {
 			return 0, err

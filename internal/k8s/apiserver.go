@@ -14,7 +14,59 @@ var (
 	ErrNotFound      = errors.New("k8s: object not found")
 	ErrAlreadyExists = errors.New("k8s: object already exists")
 	ErrTerminating   = errors.New("k8s: object is terminating")
+	// ErrConflict is returned by Update when the caller's ResourceVersion
+	// is non-zero and no longer matches the stored object: another writer
+	// committed in between. Re-read and retry (Client.UpdateWithRetry).
+	ErrConflict = errors.New("k8s: resource version conflict")
+	// ErrPending is returned by Response.Err while the request is still in
+	// flight in virtual time.
+	ErrPending = errors.New("k8s: request still in flight")
 )
+
+// Response is the handle returned by every API write. The request completes
+// after the API round-trip latency in virtual time; callbacks registered
+// with Done run at completion (immediately when already complete).
+type Response struct {
+	err       error
+	completed bool
+	cbs       []func(error)
+}
+
+func (r *Response) complete(err error) {
+	if r.completed {
+		return
+	}
+	r.completed = true
+	r.err = err
+	cbs := r.cbs
+	r.cbs = nil
+	for _, cb := range cbs {
+		cb(err)
+	}
+}
+
+// Done registers fn to run when the request completes; it returns r so a
+// call site can both register and keep the handle. If the request already
+// completed, fn runs synchronously.
+func (r *Response) Done(fn func(error)) *Response {
+	if r.completed {
+		fn(r.err)
+		return r
+	}
+	r.cbs = append(r.cbs, fn)
+	return r
+}
+
+// Completed reports whether the request has finished.
+func (r *Response) Completed() bool { return r.completed }
+
+// Err returns the request outcome, or ErrPending while still in flight.
+func (r *Response) Err() error {
+	if !r.completed {
+		return ErrPending
+	}
+	return r.err
+}
 
 // APILatency models the control-plane processing costs that dominate the
 // paper's admission-delay baseline.
@@ -39,17 +91,31 @@ func DefaultAPILatency() APILatency {
 type watcher struct {
 	kind    Kind
 	handler func(Event)
+	// next is the earliest time the next event may be delivered to this
+	// watcher. It makes delivery FIFO per watcher: events for one watcher
+	// arrive in commit order even though each draws independent jitter.
+	next sim.Time
 }
 
 // APIServer is the cluster state store. All mutation goes through it; all
 // controllers react to its watch events. It is single-threaded on the
 // simulation engine.
+//
+// This is the low-level surface. Controllers and tools should consume the
+// typed facade returned by Client(), which adds informer-backed listers,
+// indexes and filtered watch registration on top.
 type APIServer struct {
 	eng      *sim.Engine
 	lat      APILatency
 	stores   map[Kind]map[string]Object
 	watchers []*watcher
 	nextUID  int
+	// rev is the global commit revision; every write stamps the stored
+	// object's Meta.ResourceVersion with a fresh value.
+	rev int64
+	// cli is the lazily created shared client (one informer cache set per
+	// API server, like a shared informer factory).
+	cli *Client
 }
 
 // NewAPIServer creates an empty API server.
@@ -59,6 +125,15 @@ func NewAPIServer(eng *sim.Engine, lat APILatency) *APIServer {
 
 // Engine exposes the simulation engine to controllers.
 func (a *APIServer) Engine() *sim.Engine { return a.eng }
+
+// Client returns the shared typed client for this API server. All callers
+// get the same instance, so informer caches and indexes are shared.
+func (a *APIServer) Client() *Client {
+	if a.cli == nil {
+		a.cli = newClient(a)
+	}
+	return a.cli
+}
 
 func (a *APIServer) store(kind Kind) map[string]Object {
 	s, ok := a.stores[kind]
@@ -80,44 +155,53 @@ func (a *APIServer) notify(t EventType, obj Object) {
 		}
 		w := w
 		cp := obj.DeepCopy()
-		a.eng.After(a.eng.Jitter(a.lat.WatchDelivery, a.lat.Jitter), func() {
+		at := a.eng.Now().Add(a.eng.Jitter(a.lat.WatchDelivery, a.lat.Jitter))
+		if at < w.next {
+			at = w.next
+		}
+		w.next = at
+		a.eng.At(at, func() {
 			w.handler(Event{Type: t, Object: cp})
 		})
 	}
 }
 
 // Watch registers handler for all events on kind. Handlers run in virtual
-// time, after the watch-delivery latency.
+// time, after the watch-delivery latency; one watcher sees events in commit
+// order. This is the raw per-kind broadcast — controllers should prefer
+// Client.Watch, which shares one upstream watcher per kind and supports
+// namespace/selector filtering.
 func (a *APIServer) Watch(kind Kind, handler func(Event)) {
 	a.watchers = append(a.watchers, &watcher{kind: kind, handler: handler})
 }
 
-// Create stores a new object, assigning its UID and creation time. The
-// completion callback (optional) runs after the API round trip.
-func (a *APIServer) Create(obj Object, done func(error)) {
+// Create stores a new object, assigning its UID, creation time and first
+// resource version. The returned Response completes after the API round
+// trip.
+func (a *APIServer) Create(obj Object) *Response {
+	resp := &Response{}
 	a.eng.After(a.reqDelay(), func() {
 		m := obj.GetMeta()
 		s := a.store(m.Kind)
 		if _, exists := s[m.Key()]; exists {
-			if done != nil {
-				done(fmt.Errorf("%w: %s %s", ErrAlreadyExists, m.Kind, m.Key()))
-			}
+			resp.complete(fmt.Errorf("%w: %s %s", ErrAlreadyExists, m.Kind, m.Key()))
 			return
 		}
 		a.nextUID++
 		m.UID = UID(fmt.Sprintf("uid-%06d", a.nextUID))
 		m.Created = a.eng.Now()
+		a.rev++
+		m.ResourceVersion = a.rev
 		stored := obj.DeepCopy()
 		s[m.Key()] = stored
 		a.notify(EventAdded, stored)
-		if done != nil {
-			done(nil)
-		}
+		resp.complete(nil)
 	})
+	return resp
 }
 
-// Get returns a copy of the object, synchronously (reads are served from
-// the controller's informer cache in real clusters, so no latency applies).
+// Get returns a copy of the object, synchronously (a live quorum read; for
+// cached, index-capable reads use a Lister).
 func (a *APIServer) Get(kind Kind, namespace, name string) (Object, bool) {
 	obj, ok := a.store(kind)[namespace+"/"+name]
 	if !ok {
@@ -127,7 +211,8 @@ func (a *APIServer) Get(kind Kind, namespace, name string) (Object, bool) {
 }
 
 // List returns copies of all objects of kind, in key order. Empty namespace
-// lists across namespaces.
+// lists across namespaces. This is the O(all-objects) copy-scan; hot paths
+// should read through an informer-backed Lister instead.
 func (a *APIServer) List(kind Kind, namespace string) []Object {
 	s := a.store(kind)
 	keys := make([]string, 0, len(s))
@@ -146,31 +231,38 @@ func (a *APIServer) List(kind Kind, namespace string) []Object {
 }
 
 // Update replaces the stored object (by kind/namespace/name), preserving
-// UID and creation time. done is optional.
-func (a *APIServer) Update(obj Object, done func(error)) {
+// UID and creation time. When the caller's ResourceVersion is non-zero and
+// stale the update fails with ErrConflict; zero skips the precondition.
+func (a *APIServer) Update(obj Object) *Response {
+	resp := &Response{}
 	cp := obj.DeepCopy()
 	a.eng.After(a.reqDelay(), func() {
 		m := cp.GetMeta()
 		s := a.store(m.Kind)
 		old, ok := s[m.Key()]
 		if !ok {
-			if done != nil {
-				done(fmt.Errorf("%w: %s %s", ErrNotFound, m.Kind, m.Key()))
-			}
+			resp.complete(fmt.Errorf("%w: %s %s", ErrNotFound, m.Kind, m.Key()))
 			return
 		}
-		m.UID = old.GetMeta().UID
-		m.Created = old.GetMeta().Created
+		oldMeta := old.GetMeta()
+		if m.ResourceVersion != 0 && m.ResourceVersion != oldMeta.ResourceVersion {
+			resp.complete(fmt.Errorf("%w: %s %s (update at %d, stored %d)",
+				ErrConflict, m.Kind, m.Key(), m.ResourceVersion, oldMeta.ResourceVersion))
+			return
+		}
+		m.UID = oldMeta.UID
+		m.Created = oldMeta.Created
+		a.rev++
+		m.ResourceVersion = a.rev
 		s[m.Key()] = cp
 		a.notify(EventModified, cp)
-		if done != nil {
-			done(nil)
-		}
+		resp.complete(nil)
 		// Finalizer removal may allow a pending deletion to complete.
 		if m.Deleting && len(m.Finalizers) == 0 {
 			a.finalizeDelete(m.Kind, m.Key())
 		}
 	})
+	return resp
 }
 
 // Delete begins deletion. With finalizers present the object enters the
@@ -178,33 +270,31 @@ func (a *APIServer) Update(obj Object, done func(error)) {
 // finalizer is removed it disappears with a DELETED event. Without
 // finalizers it is removed immediately. Children owned via OwnerUID are
 // garbage-collected after the owner vanishes.
-func (a *APIServer) Delete(kind Kind, namespace, name string, done func(error)) {
+func (a *APIServer) Delete(kind Kind, namespace, name string) *Response {
+	resp := &Response{}
 	a.eng.After(a.reqDelay(), func() {
 		s := a.store(kind)
 		key := namespace + "/" + name
 		obj, ok := s[key]
 		if !ok {
-			if done != nil {
-				done(fmt.Errorf("%w: %s %s", ErrNotFound, kind, key))
-			}
+			resp.complete(fmt.Errorf("%w: %s %s", ErrNotFound, kind, key))
 			return
 		}
 		m := obj.GetMeta()
 		if len(m.Finalizers) > 0 {
 			if !m.Deleting {
 				m.Deleting = true
+				a.rev++
+				m.ResourceVersion = a.rev
 				a.notify(EventModified, obj)
 			}
-			if done != nil {
-				done(nil)
-			}
+			resp.complete(nil)
 			return
 		}
 		a.finalizeDelete(kind, key)
-		if done != nil {
-			done(nil)
-		}
+		resp.complete(nil)
 	})
+	return resp
 }
 
 // finalizeDelete removes the object and garbage-collects its children.
@@ -219,36 +309,50 @@ func (a *APIServer) finalizeDelete(kind Kind, key string) {
 	a.collectOrphans(obj.GetMeta().UID)
 }
 
-// collectOrphans deletes every object owned by the vanished UID.
+// collectOrphans deletes every object owned by the vanished UID. Orphans
+// are deleted in sorted (kind, key) order so the garbage collector's event
+// stream is deterministic; each Delete carries exactly one request delay.
 func (a *APIServer) collectOrphans(owner UID) {
 	if owner == "" {
 		return
 	}
+	type orphan struct {
+		kind     Kind
+		ns, name string
+	}
+	var orphans []orphan
 	for kind, s := range a.stores {
-		for key, obj := range s {
+		for _, obj := range s {
 			if obj.GetMeta().OwnerUID == owner {
-				kind, key := kind, key
-				ns, name := obj.GetMeta().Namespace, obj.GetMeta().Name
-				_ = key
-				a.eng.After(a.reqDelay(), func() {
-					a.Delete(kind, ns, name, nil)
-				})
+				m := obj.GetMeta()
+				orphans = append(orphans, orphan{kind, m.Namespace, m.Name})
 			}
 		}
+	}
+	sort.Slice(orphans, func(i, j int) bool {
+		if orphans[i].kind != orphans[j].kind {
+			return orphans[i].kind < orphans[j].kind
+		}
+		if orphans[i].ns != orphans[j].ns {
+			return orphans[i].ns < orphans[j].ns
+		}
+		return orphans[i].name < orphans[j].name
+	})
+	for _, o := range orphans {
+		a.Delete(o.kind, o.ns, o.name)
 	}
 }
 
 // RemoveFinalizer removes f from the object and triggers completion of a
 // pending delete when the finalizer list drains.
-func (a *APIServer) RemoveFinalizer(kind Kind, namespace, name, f string, done func(error)) {
+func (a *APIServer) RemoveFinalizer(kind Kind, namespace, name, f string) *Response {
+	resp := &Response{}
 	a.eng.After(a.reqDelay(), func() {
 		s := a.store(kind)
 		key := namespace + "/" + name
 		obj, ok := s[key]
 		if !ok {
-			if done != nil {
-				done(fmt.Errorf("%w: %s %s", ErrNotFound, kind, key))
-			}
+			resp.complete(fmt.Errorf("%w: %s %s", ErrNotFound, kind, key))
 			return
 		}
 		m := obj.GetMeta()
@@ -259,18 +363,20 @@ func (a *APIServer) RemoveFinalizer(kind Kind, namespace, name, f string, done f
 			}
 		}
 		m.Finalizers = kept
+		a.rev++
+		m.ResourceVersion = a.rev
 		a.notify(EventModified, obj)
 		if m.Deleting && len(m.Finalizers) == 0 {
 			a.finalizeDelete(m.Kind, key)
 		}
-		if done != nil {
-			done(nil)
-		}
+		resp.complete(nil)
 	})
+	return resp
 }
 
 // UpdateStatus applies fn to the live stored object synchronously (status
-// writes from node agents are modelled as cheap). Watchers are notified.
+// writes from node agents are modelled as cheap). Watchers are notified
+// when fn reports a change.
 func (a *APIServer) UpdateStatus(kind Kind, namespace, name string, fn func(Object) bool) bool {
 	s := a.store(kind)
 	obj, ok := s[namespace+"/"+name]
@@ -278,6 +384,8 @@ func (a *APIServer) UpdateStatus(kind Kind, namespace, name string, fn func(Obje
 		return false
 	}
 	if fn(obj) {
+		a.rev++
+		obj.GetMeta().ResourceVersion = a.rev
 		a.notify(EventModified, obj)
 	}
 	return true

@@ -1,0 +1,378 @@
+package k8s
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// IndexFunc computes the index values an object is filed under. Returning
+// nil leaves the object out of the index.
+type IndexFunc func(Object) []string
+
+// Built-in index names. Consumers register further indexes per informer
+// (e.g. vniapi's VNIs-by-job index).
+const (
+	// IndexPodJob files pods under "namespace/job-name" (the job-name
+	// label the job controller stamps on its pods).
+	IndexPodJob = "pod-job"
+	// IndexOwner files objects under their OwnerUID.
+	IndexOwner = "owner"
+)
+
+// PodJobIndex is the IndexFunc behind IndexPodJob.
+func PodJobIndex(obj Object) []string {
+	p, ok := obj.(*Pod)
+	if !ok {
+		return nil
+	}
+	job := p.Meta.Labels["job-name"]
+	if job == "" {
+		return nil
+	}
+	return []string{p.Meta.Namespace + "/" + job}
+}
+
+// OwnerIndex is the IndexFunc behind IndexOwner.
+func OwnerIndex(obj Object) []string {
+	if uid := obj.GetMeta().OwnerUID; uid != "" {
+		return []string{string(uid)}
+	}
+	return nil
+}
+
+// WatchOptions scope a watch registration. The zero value watches the whole
+// kind, like the raw APIServer.Watch broadcast.
+type WatchOptions struct {
+	// Namespace restricts delivery to one namespace ("" = all).
+	Namespace string
+	// Selector, when non-nil, must admit the event object. It runs against
+	// the informer's cached copy before the per-handler copy is made, so
+	// non-matching handlers cost no allocation.
+	Selector func(Object) bool
+}
+
+func (o WatchOptions) matches(obj Object) bool {
+	if o.Namespace != "" && obj.GetMeta().Namespace != o.Namespace {
+		return false
+	}
+	return o.Selector == nil || o.Selector(obj)
+}
+
+type watchReg struct {
+	opts    WatchOptions
+	handler func(Event)
+}
+
+type informerIndex struct {
+	fn IndexFunc
+	// buckets maps index value -> object key -> cached object.
+	buckets map[string]map[string]Object
+	// keyVals remembers the values each key was filed under, so updates
+	// can unfile the previous state without recomputing it.
+	keyVals map[string][]string
+}
+
+func (ix *informerIndex) remove(key string) {
+	for _, v := range ix.keyVals[key] {
+		if b := ix.buckets[v]; b != nil {
+			delete(b, key)
+			if len(b) == 0 {
+				delete(ix.buckets, v)
+			}
+		}
+	}
+	delete(ix.keyVals, key)
+}
+
+func (ix *informerIndex) add(key string, obj Object) {
+	vals := ix.fn(obj)
+	if len(vals) == 0 {
+		return
+	}
+	ix.keyVals[key] = vals
+	for _, v := range vals {
+		b := ix.buckets[v]
+		if b == nil {
+			b = make(map[string]Object)
+			ix.buckets[v] = b
+		}
+		b[key] = obj
+	}
+}
+
+// Informer maintains a local cache of one kind, fed by the API server's
+// watch stream, plus named indexes over that cache. The cache lags the
+// store by at most the watch-delivery latency; event handlers registered
+// through Client.Watch run after the cache (and every index) has absorbed
+// the event, so a handler reading through a Lister always sees at least the
+// state that triggered it — the ordering real shared informers guarantee.
+type Informer struct {
+	api      *APIServer
+	kind     Kind
+	objs     map[string]Object
+	byNS     map[string]map[string]Object
+	indexes  map[string]*informerIndex
+	handlers []*watchReg
+}
+
+func newInformer(api *APIServer, kind Kind) *Informer {
+	inf := &Informer{
+		api:     api,
+		kind:    kind,
+		objs:    make(map[string]Object),
+		byNS:    make(map[string]map[string]Object),
+		indexes: make(map[string]*informerIndex),
+	}
+	// Initial LIST: seed the cache from the store synchronously so an
+	// informer created after objects already exist starts warm.
+	for key, obj := range api.store(kind) {
+		inf.apply(key, obj.DeepCopy())
+	}
+	api.Watch(kind, inf.onEvent)
+	return inf
+}
+
+// AddIndex registers (idempotently) a named index and backfills it from the
+// current cache. Registering the same name twice is a no-op, so independent
+// consumers can each declare the indexes they need.
+func (inf *Informer) AddIndex(name string, fn IndexFunc) {
+	if _, ok := inf.indexes[name]; ok {
+		return
+	}
+	ix := &informerIndex{
+		fn:      fn,
+		buckets: make(map[string]map[string]Object),
+		keyVals: make(map[string][]string),
+	}
+	inf.indexes[name] = ix
+	for key, obj := range inf.objs {
+		ix.add(key, obj)
+	}
+}
+
+// Lister returns the read view over this informer's cache.
+func (inf *Informer) Lister() Lister { return Lister{inf: inf} }
+
+func (inf *Informer) apply(key string, obj Object) {
+	inf.remove(key)
+	inf.objs[key] = obj
+	ns := obj.GetMeta().Namespace
+	b := inf.byNS[ns]
+	if b == nil {
+		b = make(map[string]Object)
+		inf.byNS[ns] = b
+	}
+	b[key] = obj
+	for _, ix := range inf.indexes {
+		ix.add(key, obj)
+	}
+}
+
+func (inf *Informer) remove(key string) {
+	old, ok := inf.objs[key]
+	if !ok {
+		return
+	}
+	delete(inf.objs, key)
+	ns := old.GetMeta().Namespace
+	if b := inf.byNS[ns]; b != nil {
+		delete(b, key)
+		if len(b) == 0 {
+			delete(inf.byNS, ns)
+		}
+	}
+	for _, ix := range inf.indexes {
+		ix.remove(key)
+	}
+}
+
+// onEvent absorbs one watch event into the cache, then dispatches it to
+// matching handlers. Each matching handler receives its own deep copy, so
+// handlers may mutate their event object freely (the cached copy is never
+// handed out for writing).
+func (inf *Informer) onEvent(ev Event) {
+	key := ev.Object.GetMeta().Key()
+	switch ev.Type {
+	case EventDeleted:
+		inf.remove(key)
+	default:
+		inf.apply(key, ev.Object)
+	}
+	for _, reg := range inf.handlers {
+		if !reg.opts.matches(ev.Object) {
+			continue
+		}
+		reg.handler(Event{Type: ev.Type, Object: ev.Object.DeepCopy()})
+	}
+}
+
+// Lister is a cached, index-capable read view over one kind. Returned
+// objects are the informer's cache entries: treat them as read-only, like
+// client-go lister results. Reads cost no API round trip and no deep copy.
+type Lister struct {
+	inf *Informer
+}
+
+// Get returns the cached object, if present. Read-only.
+func (l Lister) Get(namespace, name string) (Object, bool) {
+	obj, ok := l.inf.objs[namespace+"/"+name]
+	return obj, ok
+}
+
+// List returns the cached objects of the namespace ("" = all) in key order.
+// Read-only.
+func (l Lister) List(namespace string) []Object {
+	var src map[string]Object
+	if namespace == "" {
+		src = l.inf.objs
+	} else {
+		src = l.inf.byNS[namespace]
+	}
+	return sortedValues(src)
+}
+
+// ByIndex returns the cached objects filed under value in the named index,
+// in key order. Read-only. O(match), not O(all objects).
+func (l Lister) ByIndex(name, value string) []Object {
+	ix, ok := l.inf.indexes[name]
+	if !ok {
+		panic(fmt.Sprintf("k8s: lister for %s: index %q not registered", l.inf.kind, name))
+	}
+	return sortedValues(ix.buckets[value])
+}
+
+// IndexCount reports how many cached objects are filed under value — the
+// allocation-free form of len(ByIndex(...)).
+func (l Lister) IndexCount(name, value string) int {
+	ix, ok := l.inf.indexes[name]
+	if !ok {
+		panic(fmt.Sprintf("k8s: lister for %s: index %q not registered", l.inf.kind, name))
+	}
+	return len(ix.buckets[value])
+}
+
+func sortedValues(src map[string]Object) []Object {
+	if len(src) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(src))
+	for k := range src {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Object, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, src[k])
+	}
+	return out
+}
+
+// Client is the typed control-plane client: request-scoped writes with
+// Response handles, live Gets, informer-backed listers with indexes, and
+// filtered watch registration. One Client is shared per API server
+// (APIServer.Client), so all consumers see the same caches.
+type Client struct {
+	api       *APIServer
+	informers map[Kind]*Informer
+}
+
+func newClient(api *APIServer) *Client {
+	return &Client{api: api, informers: make(map[Kind]*Informer)}
+}
+
+// Engine exposes the simulation engine (the virtual clock all request and
+// watch latencies run on).
+func (c *Client) Engine() *sim.Engine { return c.api.eng }
+
+// API exposes the underlying low-level store, for test rigs and migration
+// shims. Controllers should not reach through it on hot paths.
+func (c *Client) API() *APIServer { return c.api }
+
+// Informer returns (creating on first use) the shared informer for kind.
+func (c *Client) Informer(kind Kind) *Informer {
+	inf, ok := c.informers[kind]
+	if !ok {
+		inf = newInformer(c.api, kind)
+		c.informers[kind] = inf
+	}
+	return inf
+}
+
+// Lister returns the cached read view for kind.
+func (c *Client) Lister(kind Kind) Lister { return c.Informer(kind).Lister() }
+
+// Watch registers handler for events on kind scoped by opts. Handlers run
+// after the shared informer cache has absorbed the event, in registration
+// order, so lister reads from inside a handler always include the event.
+func (c *Client) Watch(kind Kind, opts WatchOptions, handler func(Event)) {
+	inf := c.Informer(kind)
+	inf.handlers = append(inf.handlers, &watchReg{opts: opts, handler: handler})
+}
+
+// Create submits obj; the Response completes after the API round trip.
+func (c *Client) Create(obj Object) *Response { return c.api.Create(obj) }
+
+// Update submits a conflict-checked replacement of obj (see
+// APIServer.Update for the ResourceVersion semantics).
+func (c *Client) Update(obj Object) *Response { return c.api.Update(obj) }
+
+// Delete begins deletion of the named object.
+func (c *Client) Delete(kind Kind, namespace, name string) *Response {
+	return c.api.Delete(kind, namespace, name)
+}
+
+// RemoveFinalizer removes f from the named object.
+func (c *Client) RemoveFinalizer(kind Kind, namespace, name, f string) *Response {
+	return c.api.RemoveFinalizer(kind, namespace, name, f)
+}
+
+// Get performs a live (quorum) read, returning a private copy the caller
+// may mutate — the read-modify-write half of an optimistic update.
+func (c *Client) Get(kind Kind, namespace, name string) (Object, bool) {
+	return c.api.Get(kind, namespace, name)
+}
+
+// UpdateStatus applies fn to the live stored object synchronously (node
+// agents' cheap status writes).
+func (c *Client) UpdateStatus(kind Kind, namespace, name string, fn func(Object) bool) bool {
+	return c.api.UpdateStatus(kind, namespace, name, fn)
+}
+
+// maxUpdateRetries bounds UpdateWithRetry against livelock; in a
+// single-threaded simulation more than a handful of consecutive conflicts
+// on one object indicates a logic error.
+const maxUpdateRetries = 16
+
+// UpdateWithRetry is the Patch-style read-modify-write helper: it Gets the
+// latest object, applies mutate, and Updates with the fresh
+// ResourceVersion; on ErrConflict it re-reads and retries. mutate returning
+// false skips the write and completes the Response with nil (nothing to
+// do). mutate may be called several times and must therefore be idempotent
+// against the object it is handed.
+func (c *Client) UpdateWithRetry(kind Kind, namespace, name string, mutate func(Object) bool) *Response {
+	resp := &Response{}
+	var attempt func(retries int)
+	attempt = func(retries int) {
+		obj, ok := c.api.Get(kind, namespace, name)
+		if !ok {
+			resp.complete(fmt.Errorf("%w: %s %s/%s", ErrNotFound, kind, namespace, name))
+			return
+		}
+		if !mutate(obj) {
+			resp.complete(nil)
+			return
+		}
+		c.api.Update(obj).Done(func(err error) {
+			if err == nil || !errors.Is(err, ErrConflict) || retries <= 0 {
+				resp.complete(err)
+				return
+			}
+			attempt(retries - 1)
+		})
+	}
+	attempt(maxUpdateRetries)
+	return resp
+}

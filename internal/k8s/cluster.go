@@ -29,45 +29,55 @@ func DefaultClusterConfig() ClusterConfig {
 
 // Cluster bundles the control-plane components.
 type Cluster struct {
-	Eng       *sim.Engine
-	API       *APIServer
+	Eng *sim.Engine
+	API *APIServer
+	// Client is the shared typed client every consumer reads and writes
+	// through: informer-backed listers, filtered watches, optimistic
+	// concurrency.
+	Client    *Client
 	Scheduler *Scheduler
 	JobCtl    *JobController
 	Kubelets  []*Kubelet
+	jobs      Lister
 }
 
 // NewCluster builds a cluster. runtimeFor supplies each node's container
 // runtime (the production one wires in the CNI chain with the CXI plugin).
 func NewCluster(eng *sim.Engine, cfg ClusterConfig, runtimeFor func(node string) Runtime) *Cluster {
 	api := NewAPIServer(eng, cfg.API)
+	cli := api.Client()
 	c := &Cluster{
 		Eng:       eng,
 		API:       api,
-		Scheduler: NewScheduler(api, cfg.Scheduler, cfg.NodeNames),
-		JobCtl:    NewJobController(api, cfg.JobCtl),
+		Client:    cli,
+		Scheduler: NewScheduler(cli, cfg.Scheduler, cfg.NodeNames),
+		JobCtl:    NewJobController(cli, cfg.JobCtl),
+		jobs:      cli.Lister(KindJob),
 	}
 	for _, n := range cfg.NodeNames {
 		node := &Node{Meta: Meta{Kind: KindNode, Name: n}}
-		api.Create(node, nil)
-		c.Kubelets = append(c.Kubelets, NewKubelet(api, cfg.Kubelet, n, runtimeFor(n)))
+		cli.Create(node)
+		c.Kubelets = append(c.Kubelets, NewKubelet(cli, cfg.Kubelet, n, runtimeFor(n)))
 	}
 	return c
 }
 
 // CreateNamespace registers a namespace.
 func (c *Cluster) CreateNamespace(name string) {
-	c.API.Create(&Namespace{Meta: Meta{Kind: KindNamespace, Name: name}}, nil)
+	c.Client.Create(&Namespace{Meta: Meta{Kind: KindNamespace, Name: name}})
 }
 
-// SubmitJob creates a job resource.
-func (c *Cluster) SubmitJob(job *Job, done func(error)) {
+// SubmitJob creates a job resource; the Response completes after the API
+// round trip.
+func (c *Cluster) SubmitJob(job *Job) *Response {
 	job.Meta.Kind = KindJob
-	c.API.Create(job, done)
+	return c.Client.Create(job)
 }
 
-// Job returns the current state of a job.
+// Job returns the current state of a job (a live read; the caller may
+// mutate the returned copy).
 func (c *Cluster) Job(namespace, name string) (*Job, bool) {
-	obj, ok := c.API.Get(KindJob, namespace, name)
+	obj, ok := c.Client.Get(KindJob, namespace, name)
 	if !ok {
 		return nil, false
 	}
@@ -75,10 +85,11 @@ func (c *Cluster) Job(namespace, name string) (*Job, bool) {
 }
 
 // ActiveJobs counts jobs with at least one non-terminal pod — the quantity
-// plotted as "Running Jobs" in the paper's Figures 9 and 11.
+// plotted as "Running Jobs" in the paper's Figures 9 and 11. It reads the
+// cached job lister, so sampling it every virtual second costs no copies.
 func (c *Cluster) ActiveJobs() int {
 	n := 0
-	for _, obj := range c.API.List(KindJob, "") {
+	for _, obj := range c.jobs.List("") {
 		job := obj.(*Job)
 		if !job.Status.Completed && job.Status.Active > 0 {
 			n++

@@ -35,8 +35,9 @@ func DefaultJobControllerConfig() JobControllerConfig {
 // depend on ("Jobs are configured to be deleted immediately after
 // completion").
 type JobController struct {
-	api *APIServer
-	cfg JobControllerConfig
+	cli  *Client
+	cfg  JobControllerConfig
+	pods Lister // indexed by IndexPodJob for O(pods-of-job) recounts
 	// workqueue of job keys with pods left to create.
 	queue   []string
 	busy    bool
@@ -52,9 +53,12 @@ type JobController struct {
 }
 
 // NewJobController creates and starts the controller.
-func NewJobController(api *APIServer, cfg JobControllerConfig) *JobController {
-	c := &JobController{api: api, cfg: cfg, created: make(map[string]int)}
-	api.Watch(KindJob, func(ev Event) {
+func NewJobController(cli *Client, cfg JobControllerConfig) *JobController {
+	c := &JobController{cli: cli, cfg: cfg, created: make(map[string]int)}
+	podInformer := cli.Informer(KindPod)
+	podInformer.AddIndex(IndexPodJob, PodJobIndex)
+	c.pods = podInformer.Lister()
+	cli.Watch(KindJob, WatchOptions{}, func(ev Event) {
 		job := ev.Object.(*Job)
 		switch ev.Type {
 		case EventAdded:
@@ -69,10 +73,11 @@ func NewJobController(api *APIServer, cfg JobControllerConfig) *JobController {
 			delete(c.created, job.Meta.Key())
 		}
 	})
-	api.Watch(KindPod, func(ev Event) {
-		pod := ev.Object.(*Pod)
+	cli.Watch(KindPod, WatchOptions{Selector: func(obj Object) bool {
+		return obj.(*Pod).Meta.Labels["job-name"] != ""
+	}}, func(ev Event) {
 		if ev.Type == EventModified {
-			c.onPodUpdate(pod)
+			c.onPodUpdate(ev.Object.(*Pod))
 		}
 	})
 	return c
@@ -103,7 +108,7 @@ func (c *JobController) pump() {
 	c.busy = true
 	key := c.queue[0]
 	c.queue = c.queue[1:]
-	eng := c.api.Engine()
+	eng := c.cli.Engine()
 	delay := eng.Jitter(c.cfg.PodCreateLatency, c.cfg.Jitter)
 	if c.cfg.MaxQPS > 0 {
 		// The client-side rate limiter gates API writes, not no-op
@@ -125,7 +130,7 @@ func (c *JobController) pump() {
 // until Parallelism pods exist.
 func (c *JobController) reconcile(key string) {
 	ns, name := splitKey(key)
-	obj, ok := c.api.Get(KindJob, ns, name)
+	obj, ok := c.cli.Get(KindJob, ns, name)
 	if !ok {
 		return
 	}
@@ -154,8 +159,8 @@ func (c *JobController) reconcile(key string) {
 		Status: PodStatus{Phase: PodPending},
 	}
 	c.created[key] = n + 1
-	c.lastOp = c.api.Engine().Now()
-	c.api.Create(pod, func(err error) {
+	c.lastOp = c.cli.Engine().Now()
+	c.cli.Create(pod).Done(func(err error) {
 		if err != nil {
 			c.created[key]--
 		}
@@ -165,65 +170,75 @@ func (c *JobController) reconcile(key string) {
 	}
 }
 
-// onPodUpdate folds pod phase changes into job status.
+// onPodUpdate folds pod phase changes into job status. The recount reads
+// the shared pod informer through the pods-by-job index, so it is
+// O(pods of this job) with no copying; the handler runs after the informer
+// absorbed the triggering event, so the recount always includes it.
 func (c *JobController) onPodUpdate(pod *Pod) {
 	jobName, ok := pod.Meta.Labels["job-name"]
 	if !ok {
 		return
 	}
 	ns := pod.Meta.Namespace
-	obj, found := c.api.Get(KindJob, ns, jobName)
-	if !found {
-		return
-	}
-	job := obj.(*Job)
-	if job.Status.Completed {
-		return
-	}
-	// Recount from the live pod set for idempotency.
-	active, succeeded, failed := 0, 0, 0
-	var lastStart sim.Time
-	for _, po := range c.api.List(KindPod, ns) {
-		p := po.(*Pod)
-		if p.Meta.Labels["job-name"] != jobName {
-			continue
+
+	var (
+		completedNow bool
+		ttl          sim.Duration
+		ttlDelete    bool
+	)
+	resp := c.cli.UpdateWithRetry(KindJob, ns, jobName, func(obj Object) bool {
+		job := obj.(*Job)
+		completedNow, ttlDelete, ttl = false, false, 0
+		if job.Status.Completed {
+			return false
 		}
-		switch p.Status.Phase {
-		case PodRunning:
-			active++
-			if p.Status.StartedAt > lastStart {
-				lastStart = p.Status.StartedAt
+		// Recount from the cached pod set for idempotency. The recount
+		// runs inside the mutate closure so a conflict-driven retry uses
+		// the cache as of the retry, not counts captured before a newer
+		// recount committed.
+		active, succeeded, failed := 0, 0, 0
+		var lastStart sim.Time
+		for _, po := range c.pods.ByIndex(IndexPodJob, ns+"/"+jobName) {
+			p := po.(*Pod)
+			switch p.Status.Phase {
+			case PodRunning:
+				active++
+				if p.Status.StartedAt > lastStart {
+					lastStart = p.Status.StartedAt
+				}
+			case PodSucceeded:
+				succeeded++
+				if p.Status.StartedAt > lastStart {
+					lastStart = p.Status.StartedAt
+				}
+			case PodFailed:
+				failed++
+			case PodPending, PodScheduled:
+				active++
 			}
-		case PodSucceeded:
-			succeeded++
-			if p.Status.StartedAt > lastStart {
-				lastStart = p.Status.StartedAt
-			}
-		case PodFailed:
-			failed++
-		case PodPending, PodScheduled:
-			active++
 		}
-	}
-	job.Status.Active = active
-	job.Status.Failed = failed
-	job.Status.Succeeded = succeeded
-	if job.Status.StartedAt == 0 && lastStart > 0 {
-		job.Status.StartedAt = lastStart
-	}
-	if succeeded+failed >= job.Spec.Parallelism && job.Spec.Parallelism > 0 {
-		job.Status.Completed = true
-		job.Status.CompletedAt = c.api.Engine().Now()
-		job.Status.AdmittedAt = lastStart
-	}
-	c.api.Update(job, func(err error) {
-		if err != nil || !job.Status.Completed {
+		job.Status.Active = active
+		job.Status.Failed = failed
+		job.Status.Succeeded = succeeded
+		if job.Status.StartedAt == 0 && lastStart > 0 {
+			job.Status.StartedAt = lastStart
+		}
+		if succeeded+failed >= job.Spec.Parallelism && job.Spec.Parallelism > 0 {
+			job.Status.Completed = true
+			job.Status.CompletedAt = c.cli.Engine().Now()
+			job.Status.AdmittedAt = lastStart
+			completedNow = true
+			ttlDelete = job.Spec.DeleteAfterFinished
+			ttl = job.Spec.TTLAfterFinished
+		}
+		return true
+	})
+	resp.Done(func(err error) {
+		if err != nil || !completedNow || !ttlDelete {
 			return
 		}
-		if job.Spec.DeleteAfterFinished {
-			c.api.Engine().After(job.Spec.TTLAfterFinished, func() {
-				c.api.Delete(KindJob, ns, jobName, nil)
-			})
-		}
+		c.cli.Engine().After(ttl, func() {
+			c.cli.Delete(KindJob, ns, jobName)
+		})
 	})
 }

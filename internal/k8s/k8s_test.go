@@ -62,7 +62,7 @@ func TestAPIServerCRUDAndWatch(t *testing.T) {
 
 	job := &Job{Meta: Meta{Kind: KindJob, Namespace: "ns", Name: "j"}}
 	var createErr error
-	api.Create(job, func(err error) { createErr = err })
+	api.Create(job).Done(func(err error) { createErr = err })
 	eng.Run()
 	if createErr != nil {
 		t.Fatal(createErr)
@@ -77,7 +77,7 @@ func TestAPIServerCRUDAndWatch(t *testing.T) {
 
 	// Duplicate create fails.
 	var dupErr error
-	api.Create(&Job{Meta: Meta{Kind: KindJob, Namespace: "ns", Name: "j"}}, func(err error) { dupErr = err })
+	api.Create(&Job{Meta: Meta{Kind: KindJob, Namespace: "ns", Name: "j"}}).Done(func(err error) { dupErr = err })
 	eng.Run()
 	if !errors.Is(dupErr, ErrAlreadyExists) {
 		t.Errorf("dup create: %v", dupErr)
@@ -86,7 +86,7 @@ func TestAPIServerCRUDAndWatch(t *testing.T) {
 	// Update preserves UID.
 	j := got.(*Job)
 	j.Spec.Parallelism = 3
-	api.Update(j, nil)
+	api.Update(j)
 	eng.Run()
 	got2, _ := api.Get(KindJob, "ns", "j")
 	if got2.(*Job).Spec.Parallelism != 3 {
@@ -96,7 +96,7 @@ func TestAPIServerCRUDAndWatch(t *testing.T) {
 		t.Error("UID changed on update")
 	}
 
-	api.Delete(KindJob, "ns", "j", nil)
+	api.Delete(KindJob, "ns", "j")
 	eng.Run()
 	if _, ok := api.Get(KindJob, "ns", "j"); ok {
 		t.Error("job survives delete")
@@ -121,7 +121,7 @@ func TestAPIServerReturnsCopies(t *testing.T) {
 	eng := sim.NewEngine(1)
 	api := NewAPIServer(eng, DefaultAPILatency())
 	api.Create(&Job{Meta: Meta{Kind: KindJob, Namespace: "ns", Name: "j",
-		Annotations: map[string]string{"vni": "true"}}}, nil)
+		Annotations: map[string]string{"vni": "true"}}})
 	eng.Run()
 	got, _ := api.Get(KindJob, "ns", "j")
 	got.GetMeta().Annotations["vni"] = "tampered"
@@ -136,9 +136,9 @@ func TestFinalizersBlockDeletion(t *testing.T) {
 	api := NewAPIServer(eng, DefaultAPILatency())
 	job := &Job{Meta: Meta{Kind: KindJob, Namespace: "ns", Name: "j",
 		Finalizers: []string{"vni.shs/finalizer"}}}
-	api.Create(job, nil)
+	api.Create(job)
 	eng.Run()
-	api.Delete(KindJob, "ns", "j", nil)
+	api.Delete(KindJob, "ns", "j")
 	eng.Run()
 	got, ok := api.Get(KindJob, "ns", "j")
 	if !ok {
@@ -147,7 +147,7 @@ func TestFinalizersBlockDeletion(t *testing.T) {
 	if !got.GetMeta().Deleting {
 		t.Error("deletionTimestamp not set")
 	}
-	api.RemoveFinalizer(KindJob, "ns", "j", "vni.shs/finalizer", nil)
+	api.RemoveFinalizer(KindJob, "ns", "j", "vni.shs/finalizer")
 	eng.Run()
 	if _, ok := api.Get(KindJob, "ns", "j"); ok {
 		t.Error("object survives finalizer removal")
@@ -158,14 +158,14 @@ func TestOwnerGarbageCollection(t *testing.T) {
 	eng := sim.NewEngine(1)
 	api := NewAPIServer(eng, DefaultAPILatency())
 	job := &Job{Meta: Meta{Kind: KindJob, Namespace: "ns", Name: "owner"}}
-	api.Create(job, nil)
+	api.Create(job)
 	eng.Run()
 	got, _ := api.Get(KindJob, "ns", "owner")
 	pod := &Pod{Meta: Meta{Kind: KindPod, Namespace: "ns", Name: "child",
 		OwnerUID: got.GetMeta().UID}}
-	api.Create(pod, nil)
+	api.Create(pod)
 	eng.Run()
-	api.Delete(KindJob, "ns", "owner", nil)
+	api.Delete(KindJob, "ns", "owner")
 	eng.Run()
 	if _, ok := api.Get(KindPod, "ns", "child"); ok {
 		t.Error("orphan not garbage-collected")
@@ -176,7 +176,7 @@ func TestJobRunsToCompletion(t *testing.T) {
 	c, rt := newTestCluster(t, quietConfig())
 	job := EchoJob("default", "test-job", nil)
 	job.Spec.DeleteAfterFinished = false
-	c.SubmitJob(job, nil)
+	c.SubmitJob(job)
 	c.Eng.RunFor(30 * time.Second)
 
 	got, ok := c.Job("default", "test-job")
@@ -196,7 +196,7 @@ func TestJobRunsToCompletion(t *testing.T) {
 
 func TestJobDeletedAfterCompletion(t *testing.T) {
 	c, rt := newTestCluster(t, quietConfig())
-	c.SubmitJob(EchoJob("default", "auto-del", nil), nil)
+	c.SubmitJob(EchoJob("default", "auto-del", nil))
 	c.Eng.RunFor(60 * time.Second)
 	if _, ok := c.Job("default", "auto-del"); ok {
 		t.Error("job not auto-deleted")
@@ -216,7 +216,7 @@ func TestParallelJobSpreadsAcrossNodes(t *testing.T) {
 	job.Spec.Parallelism = 2
 	job.Spec.Template.RunDuration = 5 * time.Second
 	job.Spec.DeleteAfterFinished = false
-	c.SubmitJob(job, nil)
+	c.SubmitJob(job)
 	c.Eng.RunFor(3 * time.Second)
 
 	nodes := map[string]int{}
@@ -243,7 +243,7 @@ func TestFailedSetupFailsPodAndJobNeverCompletes(t *testing.T) {
 	c := NewCluster(eng, quietConfig(), func(string) Runtime { return rt })
 	job := EchoJob("default", "doomed", nil)
 	job.Spec.DeleteAfterFinished = false
-	c.SubmitJob(job, nil)
+	c.SubmitJob(job)
 	eng.RunFor(30 * time.Second)
 	got, _ := c.Job("default", "doomed")
 	if got.Status.Completed && got.Status.Succeeded > 0 {
@@ -261,11 +261,11 @@ func TestFailedSetupFailsPodAndJobNeverCompletes(t *testing.T) {
 func TestSchedulerSkipsDeletedPods(t *testing.T) {
 	eng := sim.NewEngine(1)
 	api := NewAPIServer(eng, DefaultAPILatency())
-	NewScheduler(api, DefaultSchedulerConfig(), []string{"n0"})
+	NewScheduler(api.Client(), DefaultSchedulerConfig(), []string{"n0"})
 	pod := &Pod{Meta: Meta{Kind: KindPod, Namespace: "ns", Name: "p"},
 		Status: PodStatus{Phase: PodPending}}
-	api.Create(pod, nil)
-	api.Delete(KindPod, "ns", "p", nil)
+	api.Create(pod)
+	api.Delete(KindPod, "ns", "p")
 	eng.Run() // must not panic on binding a vanished pod
 }
 
@@ -275,7 +275,7 @@ func TestActiveJobsCount(t *testing.T) {
 		job := EchoJob("default", UniqueJobName("act"), nil)
 		job.Spec.Template.RunDuration = 10 * time.Second
 		job.Spec.DeleteAfterFinished = false
-		c.SubmitJob(job, nil)
+		c.SubmitJob(job)
 	}
 	c.Eng.RunFor(5 * time.Second)
 	if n := c.ActiveJobs(); n != 3 {
@@ -293,7 +293,7 @@ func TestJobControllerGateDefersPods(t *testing.T) {
 	c.JobCtl.SetGate(func(job *Job) bool { return open })
 	job := EchoJob("default", "gated", nil)
 	job.Spec.DeleteAfterFinished = false
-	c.SubmitJob(job, nil)
+	c.SubmitJob(job)
 	c.Eng.RunFor(5 * time.Second)
 	if pods := c.API.List(KindPod, "default"); len(pods) != 0 {
 		t.Fatalf("gate ignored: %d pods created", len(pods))
@@ -315,7 +315,7 @@ func TestCustomObjectsStoreAndCopy(t *testing.T) {
 		Meta: Meta{Kind: KindVNI, Namespace: "ns", Name: "vni-1"},
 		Spec: map[string]string{"vni": "1234", "owner": "job/x"},
 	}
-	api.Create(obj, nil)
+	api.Create(obj)
 	eng.Run()
 	got, ok := api.Get(KindVNI, "ns", "vni-1")
 	if !ok {
@@ -359,7 +359,7 @@ func TestBurstAdmissionLagsSubmission(t *testing.T) {
 	for i := 0; i < n; i++ {
 		job := EchoJob("default", UniqueJobName("burst"), nil)
 		job.Spec.DeleteAfterFinished = false
-		c.SubmitJob(job, nil)
+		c.SubmitJob(job)
 	}
 	c.Eng.RunFor(2 * time.Second)
 	running := 0
@@ -389,13 +389,13 @@ func TestDeletingRunningPodAppliesGracePeriod(t *testing.T) {
 	job.Spec.Template.RunDuration = 10 * time.Minute
 	job.Spec.Template.TerminationGracePeriod = 20 * time.Second
 	job.Spec.DeleteAfterFinished = false
-	c.SubmitJob(job, nil)
+	c.SubmitJob(job)
 	c.Eng.RunFor(5 * time.Second) // pod running by now
 	pods := c.API.List(KindPod, "default")
 	if len(pods) != 1 || pods[0].(*Pod).Status.Phase != PodRunning {
 		t.Fatalf("pod not running: %+v", pods)
 	}
-	c.API.Delete(KindJob, "default", "long", nil)
+	c.Client.Delete(KindJob, "default", "long")
 	c.Eng.RunFor(5 * time.Second)
 	// Teardown is pending (grace period), sandbox not yet destroyed.
 	if rt.teardowns != 0 {
@@ -415,13 +415,13 @@ func TestSchedulerPicksLeastLoadedNode(t *testing.T) {
 		Spec:   PodSpec{NodeName: "node0", RunDuration: 10 * time.Minute},
 		Status: PodStatus{Phase: PodRunning},
 	}
-	c.API.Create(pinned, nil)
+	c.Client.Create(pinned)
 	c.Eng.RunFor(time.Second)
 	// The next unpinned pod must land on node1.
 	job := EchoJob("default", "next", nil)
 	job.Spec.Template.RunDuration = time.Minute
 	job.Spec.DeleteAfterFinished = false
-	c.SubmitJob(job, nil)
+	c.SubmitJob(job)
 	c.Eng.RunFor(5 * time.Second)
 	obj, ok := c.API.Get(KindPod, "default", "next-0")
 	if !ok {
@@ -438,7 +438,7 @@ func TestMultipleJobsInterleave(t *testing.T) {
 	for i := 0; i < n; i++ {
 		job := EchoJob("default", UniqueJobName("multi"), nil)
 		job.Spec.DeleteAfterFinished = false
-		c.SubmitJob(job, nil)
+		c.SubmitJob(job)
 	}
 	c.Eng.RunFor(2 * time.Minute)
 	done := 0

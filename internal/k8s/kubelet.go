@@ -52,9 +52,11 @@ type kubeletTask struct {
 	run func(done func())
 }
 
-// Kubelet runs pods bound to one node through the container runtime.
+// Kubelet runs pods bound to one node through the container runtime. It
+// watches only its own node's pods (a fieldSelector-style filtered watch),
+// so per-node work no longer scales with the whole fleet's event stream.
 type Kubelet struct {
-	api     *APIServer
+	cli     *Client
 	cfg     KubeletConfig
 	node    string
 	rt      Runtime
@@ -66,16 +68,15 @@ type Kubelet struct {
 }
 
 // NewKubelet creates and starts the node agent for node.
-func NewKubelet(api *APIServer, cfg KubeletConfig, node string, rt Runtime) *Kubelet {
+func NewKubelet(cli *Client, cfg KubeletConfig, node string, rt Runtime) *Kubelet {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	k := &Kubelet{api: api, cfg: cfg, node: node, rt: rt, livePods: make(map[string]*Pod)}
-	api.Watch(KindPod, func(ev Event) {
+	k := &Kubelet{cli: cli, cfg: cfg, node: node, rt: rt, livePods: make(map[string]*Pod)}
+	cli.Watch(KindPod, WatchOptions{Selector: func(obj Object) bool {
+		return obj.(*Pod).Spec.NodeName == node
+	}}, func(ev Event) {
 		pod := ev.Object.(*Pod)
-		if pod.Spec.NodeName != k.node {
-			return
-		}
 		switch ev.Type {
 		case EventModified:
 			if pod.Status.Phase == PodScheduled {
@@ -115,14 +116,14 @@ func (k *Kubelet) pump() {
 }
 
 func (k *Kubelet) jit(d sim.Duration) sim.Duration {
-	return k.api.Engine().Jitter(d, k.cfg.Jitter)
+	return k.cli.Engine().Jitter(d, k.cfg.Jitter)
 }
 
 // startPod executes the pod-start pipeline: image pull, sandbox+CNI,
 // container start, then status updates and (for the echo workloads) the
 // container exit.
 func (k *Kubelet) startPod(pod *Pod, done func()) {
-	eng := k.api.Engine()
+	eng := k.cli.Engine()
 	eng.After(k.jit(k.cfg.ImagePull), func() {
 		k.rt.SetupPod(pod, func(err error) {
 			if err != nil {
@@ -151,9 +152,9 @@ func (k *Kubelet) startPod(pod *Pod, done func()) {
 // teardownPod kills the container (applying the grace period only if still
 // running) and runs the CNI DEL chain.
 func (k *Kubelet) teardownPod(pod *Pod, done func()) {
-	eng := k.api.Engine()
+	eng := k.cli.Engine()
 	grace := sim.Duration(0)
-	if obj, ok := k.api.Get(KindPod, pod.Meta.Namespace, pod.Meta.Name); ok {
+	if obj, ok := k.cli.Get(KindPod, pod.Meta.Namespace, pod.Meta.Name); ok {
 		// Pod object still around (shouldn't happen after DELETED), be safe.
 		if p := obj.(*Pod); p.Status.Phase == PodRunning {
 			grace = p.Spec.TerminationGracePeriod
@@ -167,13 +168,13 @@ func (k *Kubelet) teardownPod(pod *Pod, done func()) {
 }
 
 func (k *Kubelet) setPhase(pod *Pod, phase PodPhase, msg string) {
-	k.setPhaseAt(pod, phase, msg, k.api.Engine().Now())
+	k.setPhaseAt(pod, phase, msg, k.cli.Engine().Now())
 }
 
 // setPhaseAt records a phase transition. Transitions on already-deleted
 // pods are ignored.
 func (k *Kubelet) setPhaseAt(pod *Pod, phase PodPhase, msg string, at sim.Time) {
-	k.api.UpdateStatus(KindPod, pod.Meta.Namespace, pod.Meta.Name, func(obj Object) bool {
+	k.cli.UpdateStatus(KindPod, pod.Meta.Namespace, pod.Meta.Name, func(obj Object) bool {
 		p := obj.(*Pod)
 		switch p.Status.Phase {
 		case PodSucceeded, PodFailed:

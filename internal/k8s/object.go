@@ -43,6 +43,11 @@ type Meta struct {
 	Annotations map[string]string
 	Labels      map[string]string
 	Created     sim.Time
+	// ResourceVersion is the commit revision of the stored object; the API
+	// server bumps it on every write. An Update whose ResourceVersion is
+	// non-zero and stale fails with ErrConflict (optimistic concurrency).
+	// Zero means "no precondition" (blind write).
+	ResourceVersion int64
 	// Deleting is the deletionTimestamp: the object is terminating but
 	// held by finalizers.
 	Deleting   bool

@@ -1,6 +1,7 @@
 package k8s
 
 import (
+	"errors"
 	"time"
 
 	"github.com/caps-sim/shs-k8s/internal/sim"
@@ -23,28 +24,78 @@ func DefaultSchedulerConfig() SchedulerConfig {
 // "topology spread constraints" usage by always spreading: the node with
 // the fewest non-terminal pods wins, so the two OSU ranks land on the two
 // different nodes exactly as the paper configures via Volcano.
+//
+// Placement reads no cluster-wide state: per-node pod counts are maintained
+// incrementally from the shared pod informer, and bindings not yet
+// reflected in the cache are carried in an assume cache (kube-scheduler's
+// "assumed pods"), so picking a node is O(nodes) regardless of fleet size —
+// the seed implementation re-listed and deep-copied every pod per placement.
 type Scheduler struct {
-	api   *APIServer
+	cli   *Client
 	cfg   SchedulerConfig
 	nodes []string
 	queue []string // pod keys awaiting binding
 	busy  bool
+	// counts is the committed non-terminal pod count per node, from the
+	// informer's view; bound remembers which node each pod is counted on.
+	counts map[string]int
+	bound  map[string]string
+	// assumed carries this scheduler's own bindings until the informer
+	// confirms them, so back-to-back placements inside the watch-delivery
+	// window still spread.
+	assumed map[string]string
 }
 
 // NewScheduler creates and starts a scheduler over the given node names.
-func NewScheduler(api *APIServer, cfg SchedulerConfig, nodes []string) *Scheduler {
-	s := &Scheduler{api: api, cfg: cfg, nodes: append([]string(nil), nodes...)}
-	api.Watch(KindPod, func(ev Event) {
-		if ev.Type != EventAdded {
-			return
-		}
-		pod := ev.Object.(*Pod)
-		if pod.Spec.NodeName != "" || pod.Status.Phase != PodPending {
-			return
-		}
-		s.enqueue(pod.Meta.Key())
-	})
+func NewScheduler(cli *Client, cfg SchedulerConfig, nodes []string) *Scheduler {
+	s := &Scheduler{
+		cli:     cli,
+		cfg:     cfg,
+		nodes:   append([]string(nil), nodes...),
+		counts:  make(map[string]int),
+		bound:   make(map[string]string),
+		assumed: make(map[string]string),
+	}
+	cli.Watch(KindPod, WatchOptions{}, s.onPod)
 	return s
+}
+
+// onPod folds one pod event into the per-node counts and enqueues fresh
+// pending pods.
+func (s *Scheduler) onPod(ev Event) {
+	pod := ev.Object.(*Pod)
+	key := pod.Meta.Key()
+
+	effective := ""
+	if ev.Type != EventDeleted && pod.Spec.NodeName != "" {
+		switch pod.Status.Phase {
+		case PodSucceeded, PodFailed:
+		default:
+			effective = pod.Spec.NodeName
+		}
+	}
+	if old := s.bound[key]; old != effective {
+		if old != "" {
+			s.counts[old]--
+		}
+		if effective != "" {
+			s.counts[effective]++
+		}
+		if effective == "" {
+			delete(s.bound, key)
+		} else {
+			s.bound[key] = effective
+		}
+	}
+	// The informer now reflects the binding (or the pod is gone): the
+	// assumption, if any, has served its purpose.
+	if effective != "" || ev.Type == EventDeleted {
+		delete(s.assumed, key)
+	}
+
+	if ev.Type == EventAdded && pod.Spec.NodeName == "" && pod.Status.Phase == PodPending {
+		s.enqueue(key)
+	}
 }
 
 func (s *Scheduler) enqueue(key string) {
@@ -61,7 +112,7 @@ func (s *Scheduler) pump() {
 	s.busy = true
 	key := s.queue[0]
 	s.queue = s.queue[1:]
-	eng := s.api.Engine()
+	eng := s.cli.Engine()
 	eng.After(eng.Jitter(s.cfg.BindLatency, s.cfg.Jitter), func() {
 		s.bind(key)
 		s.busy = false
@@ -71,7 +122,7 @@ func (s *Scheduler) pump() {
 
 func (s *Scheduler) bind(key string) {
 	ns, name := splitKey(key)
-	obj, ok := s.api.Get(KindPod, ns, name)
+	obj, ok := s.cli.Get(KindPod, ns, name)
 	if !ok {
 		return // deleted while queued
 	}
@@ -82,39 +133,42 @@ func (s *Scheduler) bind(key string) {
 	node := s.pickNode()
 	if node == "" {
 		// No nodes: retry later.
-		s.api.Engine().After(500*time.Millisecond, func() { s.enqueue(key) })
+		s.cli.Engine().After(500*time.Millisecond, func() { s.enqueue(key) })
 		return
 	}
 	pod.Spec.NodeName = node
 	pod.Status.Phase = PodScheduled
-	s.api.Update(pod, nil)
+	s.assumed[key] = node
+	s.cli.Update(pod).Done(func(err error) {
+		if err == nil {
+			return
+		}
+		// The pod changed or vanished under us: drop the assumption and,
+		// on conflict, let a fresh read decide again.
+		delete(s.assumed, key)
+		if errors.Is(err, ErrConflict) {
+			s.enqueue(key)
+		}
+	})
 }
 
-// pickNode returns the node with the fewest non-terminal pods.
+// pickNode returns the node with the fewest non-terminal pods, counting
+// both informer-confirmed pods and not-yet-confirmed assumed bindings.
 func (s *Scheduler) pickNode() string {
 	if len(s.nodes) == 0 {
 		return ""
 	}
-	counts := make(map[string]int, len(s.nodes))
-	for _, n := range s.nodes {
-		counts[n] = 0
-	}
-	for _, obj := range s.api.List(KindPod, "") {
-		pod := obj.(*Pod)
-		if pod.Spec.NodeName == "" {
-			continue
-		}
-		switch pod.Status.Phase {
-		case PodSucceeded, PodFailed:
-			continue
-		}
-		if _, ok := counts[pod.Spec.NodeName]; ok {
-			counts[pod.Spec.NodeName]++
+	var assumedCounts map[string]int
+	if len(s.assumed) > 0 {
+		assumedCounts = make(map[string]int, len(s.assumed))
+		for _, n := range s.assumed {
+			assumedCounts[n]++
 		}
 	}
+	load := func(n string) int { return s.counts[n] + assumedCounts[n] }
 	best := s.nodes[0]
 	for _, n := range s.nodes[1:] {
-		if counts[n] < counts[best] {
+		if load(n) < load(best) {
 			best = n
 		}
 	}

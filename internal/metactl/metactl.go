@@ -59,7 +59,9 @@ type Config struct {
 	Name string
 	// ParentKind is the watched resource type.
 	ParentKind k8s.Kind
-	// Selector filters parents; nil selects all.
+	// Selector filters parents; nil selects all. It is applied at watch
+	// registration, so non-matching parent events never reach the
+	// controller.
 	Selector func(k8s.Object) bool
 	// ChildKind is the kind of managed children.
 	ChildKind k8s.Kind
@@ -86,9 +88,11 @@ func DefaultConfig() Config {
 
 // Decorator is a running decorator controller.
 type Decorator struct {
-	api   *k8s.APIServer
-	cfg   Config
-	hooks Hooks
+	cli      *k8s.Client
+	cfg      Config
+	hooks    Hooks
+	parents  k8s.Lister
+	children k8s.Lister // indexed by owner UID
 	// inFlight dedups concurrent reconciles per parent key.
 	inFlight map[string]bool
 	// pending marks parents that changed while a reconcile was running.
@@ -96,14 +100,15 @@ type Decorator struct {
 }
 
 // NewDecorator creates and starts the controller.
-func NewDecorator(api *k8s.APIServer, cfg Config, hooks Hooks) *Decorator {
-	d := &Decorator{api: api, cfg: cfg, hooks: hooks,
+func NewDecorator(cli *k8s.Client, cfg Config, hooks Hooks) *Decorator {
+	d := &Decorator{cli: cli, cfg: cfg, hooks: hooks,
 		inFlight: make(map[string]bool), pending: make(map[string]bool)}
-	api.Watch(cfg.ParentKind, func(ev k8s.Event) {
+	d.parents = cli.Lister(cfg.ParentKind)
+	childInformer := cli.Informer(cfg.ChildKind)
+	childInformer.AddIndex(k8s.IndexOwner, k8s.OwnerIndex)
+	d.children = childInformer.Lister()
+	cli.Watch(cfg.ParentKind, k8s.WatchOptions{Selector: cfg.Selector}, func(ev k8s.Event) {
 		if ev.Type == k8s.EventDeleted {
-			return
-		}
-		if cfg.Selector != nil && !cfg.Selector(ev.Object) {
 			return
 		}
 		d.schedule(ev.Object.GetMeta().Key())
@@ -117,7 +122,7 @@ func (d *Decorator) schedule(key string) {
 		return
 	}
 	d.inFlight[key] = true
-	eng := d.api.Engine()
+	eng := d.cli.Engine()
 	eng.After(eng.Jitter(d.cfg.WebhookLatency, d.cfg.Jitter), func() {
 		d.reconcile(key, func() {
 			d.inFlight[key] = false
@@ -132,7 +137,7 @@ func (d *Decorator) schedule(key string) {
 // reconcile drives one parent toward the webhook's desired state.
 func (d *Decorator) reconcile(key string, done func()) {
 	ns, name := splitKey(key)
-	obj, ok := d.api.Get(d.cfg.ParentKind, ns, name)
+	obj, ok := d.cli.Get(d.cfg.ParentKind, ns, name)
 	if !ok {
 		done()
 		return
@@ -148,7 +153,7 @@ func (d *Decorator) reconcile(key string, done func()) {
 		resp, err := d.hooks.Finalize(req)
 		if err != nil || !resp.Finalized {
 			d.applyChildren(meta, resp.Children, func() {
-				eng := d.api.Engine()
+				eng := d.cli.Engine()
 				eng.After(eng.Jitter(d.cfg.FinalizeRetry, d.cfg.Jitter), func() { d.schedule(key) })
 				done()
 			})
@@ -156,19 +161,27 @@ func (d *Decorator) reconcile(key string, done func()) {
 		}
 		// Finalized: remove all children, then the finalizer.
 		d.applyChildren(meta, nil, func() {
-			d.api.RemoveFinalizer(d.cfg.ParentKind, ns, name, d.cfg.Finalizer, func(error) { done() })
+			d.cli.RemoveFinalizer(d.cfg.ParentKind, ns, name, d.cfg.Finalizer).Done(func(error) { done() })
 		})
 		return
 	}
 
-	// Live parent: ensure finalizer, call sync, apply children.
+	// Live parent: ensure finalizer, call sync, apply children. The
+	// finalizer is attached with an optimistic-concurrency retry so a
+	// concurrent status writer cannot make the attach silently vanish.
 	ensureFinalizer := func(next func()) {
 		if d.cfg.Finalizer == "" || meta.HasFinalizer(d.cfg.Finalizer) {
 			next()
 			return
 		}
-		meta.Finalizers = append(meta.Finalizers, d.cfg.Finalizer)
-		d.api.Update(obj, func(error) { next() })
+		d.cli.UpdateWithRetry(d.cfg.ParentKind, ns, name, func(cur k8s.Object) bool {
+			m := cur.GetMeta()
+			if m.HasFinalizer(d.cfg.Finalizer) {
+				return false
+			}
+			m.Finalizers = append(m.Finalizers, d.cfg.Finalizer)
+			return true
+		}).Done(func(error) { next() })
 	}
 	ensureFinalizer(func() {
 		resp, err := d.hooks.Sync(req)
@@ -182,16 +195,15 @@ func (d *Decorator) reconcile(key string, done func()) {
 	})
 }
 
-// childrenOf lists controller-owned children of the parent.
+// childrenOf lists controller-owned children of the parent through the
+// owner index: O(children of this parent), not O(all children in the
+// namespace). It returns private copies because webhook responses may echo
+// them back as desired state, which applyChildren mutates.
 func (d *Decorator) childrenOf(meta *k8s.Meta) []*k8s.Custom {
 	var out []*k8s.Custom
-	for _, obj := range d.api.List(d.cfg.ChildKind, meta.Namespace) {
-		c, ok := obj.(*k8s.Custom)
-		if !ok {
-			continue
-		}
-		if c.Meta.OwnerUID == meta.UID {
-			out = append(out, c)
+	for _, obj := range d.children.ByIndex(k8s.IndexOwner, string(meta.UID)) {
+		if c, ok := obj.(*k8s.Custom); ok {
+			out = append(out, c.DeepCopy().(*k8s.Custom))
 		}
 	}
 	return out
@@ -206,7 +218,7 @@ func (d *Decorator) applyChildren(parent *k8s.Meta, desired []*k8s.Custom, done 
 	}
 	wantByName := make(map[string]*k8s.Custom, len(desired))
 	remaining := 0
-	finish := func() {
+	finish := func(error) {
 		remaining--
 		if remaining == 0 {
 			done()
@@ -221,17 +233,17 @@ func (d *Decorator) applyChildren(parent *k8s.Meta, desired []*k8s.Custom, done 
 		wantByName[w.Meta.Name] = w
 		if cur, exists := curByName[w.Meta.Name]; exists {
 			if !specsEqual(cur.Spec, w.Spec) {
-				ops = append(ops, func() { d.api.Update(w, func(error) { finish() }) })
+				ops = append(ops, func() { d.cli.Update(w).Done(finish) })
 			}
 			continue
 		}
-		ops = append(ops, func() { d.api.Create(w, func(error) { finish() }) })
+		ops = append(ops, func() { d.cli.Create(w).Done(finish) })
 	}
 	for _, c := range current {
 		c := c
 		if _, keep := wantByName[c.Meta.Name]; !keep {
 			ops = append(ops, func() {
-				d.api.Delete(d.cfg.ChildKind, c.Meta.Namespace, c.Meta.Name, func(error) { finish() })
+				d.cli.Delete(d.cfg.ChildKind, c.Meta.Namespace, c.Meta.Name).Done(finish)
 			})
 		}
 	}
@@ -245,9 +257,10 @@ func (d *Decorator) applyChildren(parent *k8s.Meta, desired []*k8s.Custom, done 
 	}
 }
 
-// Resync re-queues every matching parent (Metacontroller's resyncPeriod).
+// Resync re-queues every matching parent (Metacontroller's resyncPeriod)
+// from the cached parent lister.
 func (d *Decorator) Resync() {
-	for _, obj := range d.api.List(d.cfg.ParentKind, "") {
+	for _, obj := range d.parents.List("") {
 		if d.cfg.Selector != nil && !d.cfg.Selector(obj) {
 			continue
 		}

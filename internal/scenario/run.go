@@ -111,6 +111,12 @@ type runner struct {
 	sc  *Scenario
 	res *Result
 	st  *stack.Stack
+	// pods, jobs and vnis are cached listers over the fleet's control
+	// plane; every end-state probe reads through them instead of
+	// copy-scanning the API server.
+	pods k8s.Lister
+	jobs k8s.Lister
+	vnis k8s.Lister
 	// start is the virtual time of start_fleet; event offsets are
 	// relative to it, so stack assembly time does not shift the timeline.
 	start sim.Time
@@ -153,15 +159,15 @@ func (r *runner) exec(ev *Event) error {
 		if _, ok := r.submitted[key]; !ok {
 			return fmt.Errorf("job %s was never submitted", key)
 		}
-		r.st.Cluster.API.Delete(k8s.KindJob, ev.Params["tenant"], ev.Params["name"], nil)
+		r.st.Cluster.Client.Delete(k8s.KindJob, ev.Params["tenant"], ev.Params["name"])
 		r.logf("deleted job %s", key)
 		return nil
 	case "create_claim":
-		r.st.Cluster.API.Create(vnisvc.NewClaim(ev.Params["tenant"], ev.Params["name"], ev.Params["name"]), nil)
+		r.st.Cluster.Client.Create(vnisvc.NewClaim(ev.Params["tenant"], ev.Params["name"], ev.Params["name"]))
 		r.logf("created claim %s/%s", ev.Params["tenant"], ev.Params["name"])
 		return nil
 	case "delete_claim":
-		r.st.Cluster.API.Delete(vniapi.KindVniClaim, ev.Params["tenant"], ev.Params["name"], nil)
+		r.st.Cluster.Client.Delete(vniapi.KindVniClaim, ev.Params["tenant"], ev.Params["name"])
 		r.logf("deleted claim %s/%s", ev.Params["tenant"], ev.Params["name"])
 		return nil
 	case "churn_jobs":
@@ -209,12 +215,18 @@ func (r *runner) startFleet() error {
 	opts.DB = vnidb.Options{MinVNI: fl.VNIPoolMin, MaxVNI: fl.VNIPoolMax, Quarantine: fl.Quarantine}
 	r.st = stack.New(opts)
 	r.start = r.st.Eng.Now()
+	cli := r.st.Cluster.Client
+	podInformer := cli.Informer(k8s.KindPod)
+	podInformer.AddIndex(k8s.IndexPodJob, k8s.PodJobIndex)
+	r.pods = podInformer.Lister()
+	r.jobs = cli.Lister(k8s.KindJob)
+	r.vnis = vniapi.VNILister(cli)
 	for _, t := range fl.Tenants {
 		r.st.Cluster.CreateNamespace(t.Name)
 	}
-	// Track job completion through the API watch so TTL-deleted jobs still
+	// Track job completion through the watch so TTL-deleted jobs still
 	// count toward jobs_completed.
-	r.st.Cluster.API.Watch(k8s.KindJob, func(ev k8s.Event) {
+	cli.Watch(k8s.KindJob, k8s.WatchOptions{}, func(ev k8s.Event) {
 		if ev.Type == k8s.EventDeleted {
 			return
 		}
@@ -254,7 +266,7 @@ func (r *runner) submitJob(ev *Event) error {
 		return fmt.Errorf("job %s already submitted", key)
 	}
 	r.submitted[key] = tenant
-	r.st.Cluster.SubmitJob(buildJob(tenant, name, ev.Params["vni"], pods, runtime, false), nil)
+	r.st.Cluster.SubmitJob(buildJob(tenant, name, ev.Params["vni"], pods, runtime, false))
 	r.logf("submitted job %s (%d pod(s), vni=%q)", key, pods, ev.Params["vni"])
 	return nil
 }
@@ -278,7 +290,7 @@ func (r *runner) churnJobs(ev *Event) error {
 		r.submitted[key] = tenant
 		job := buildJob(tenant, name, vni, pods, runtime, true)
 		r.st.Eng.After(time.Duration(i)*interval, func() {
-			r.st.Cluster.SubmitJob(job, nil)
+			r.st.Cluster.SubmitJob(job)
 		})
 	}
 	r.logf("churning %d jobs in %s (interval %s, runtime %s)", count, tenant, interval, runtime)
@@ -287,13 +299,16 @@ func (r *runner) churnJobs(ev *Event) error {
 
 // tenantVNI returns the VNI on the tenant's first VNI CRD instance
 // (virtual or owning — both carry a valid VNI value), or the one attached
-// to jobName when given.
+// to jobName when given. Job lookups go through the by-job index.
 func (r *runner) tenantVNI(tenant, jobName string) (fabric.VNI, error) {
-	for _, obj := range r.st.Cluster.API.List(vniapi.KindVNI, tenant) {
+	var crds []k8s.Object
+	if jobName != "" {
+		crds = r.vnis.ByIndex(vniapi.IndexVNIByJob, tenant+"/"+jobName)
+	} else {
+		crds = r.vnis.List(tenant)
+	}
+	for _, obj := range crds {
 		cr := obj.(*k8s.Custom)
-		if jobName != "" && cr.Spec[vniapi.SpecJob] != jobName {
-			continue
-		}
 		v, err := strconv.ParseUint(cr.Spec[vniapi.SpecVNI], 10, 32)
 		if err != nil {
 			return 0, fmt.Errorf("bad vni on CRD %s: %v", cr.Meta.Name, err)
@@ -304,6 +319,24 @@ func (r *runner) tenantVNI(tenant, jobName string) (fabric.VNI, error) {
 		return 0, fmt.Errorf("no VNI CRD for job %s/%s", tenant, jobName)
 	}
 	return 0, fmt.Errorf("tenant %s has no VNI", tenant)
+}
+
+// eachPod walks the tenant's cached pods — through the pods-by-job index
+// when job is non-empty, the namespace cache otherwise — until fn returns
+// false. It is the single lister-backed pod scan behind every per-pod
+// probe below (the seed carried four near-identical copy-scan loops).
+func (r *runner) eachPod(tenant, job string, fn func(*k8s.Pod) bool) {
+	var objs []k8s.Object
+	if job != "" {
+		objs = r.pods.ByIndex(k8s.IndexPodJob, tenant+"/"+job)
+	} else {
+		objs = r.pods.List(tenant)
+	}
+	for _, obj := range objs {
+		if !fn(obj.(*k8s.Pod)) {
+			return
+		}
+	}
 }
 
 // probeIsolation attacks every tenant's VNI at the two enforcement layers
@@ -387,30 +420,33 @@ func (r *runner) probeIsolation() error {
 
 // anyRunningPod returns a running pod of the tenant and its node.
 func (r *runner) anyRunningPod(tenant string) (*k8s.Pod, *stack.Node, error) {
-	for _, obj := range r.st.Cluster.API.List(k8s.KindPod, tenant) {
-		pod := obj.(*k8s.Pod)
+	var foundPod *k8s.Pod
+	var foundNode *stack.Node
+	r.eachPod(tenant, "", func(pod *k8s.Pod) bool {
 		if pod.Status.Phase != k8s.PodRunning {
-			continue
+			return true
 		}
 		if node, ok := r.st.NodeByName(pod.Spec.NodeName); ok {
-			return pod, node, nil
+			foundPod, foundNode = pod, node
+			return false
 		}
+		return true
+	})
+	if foundPod == nil {
+		return nil, nil, fmt.Errorf("tenant %s has no running pod", tenant)
 	}
-	return nil, nil, fmt.Errorf("tenant %s has no running pod", tenant)
+	return foundPod, foundNode, nil
 }
 
 // runningPods counts Running pods in a tenant, optionally for one job.
 func (r *runner) runningPods(tenant, job string) int {
 	n := 0
-	for _, obj := range r.st.Cluster.API.List(k8s.KindPod, tenant) {
-		pod := obj.(*k8s.Pod)
-		if job != "" && pod.Meta.Labels["job-name"] != job {
-			continue
-		}
+	r.eachPod(tenant, job, func(pod *k8s.Pod) bool {
 		if pod.Status.Phase == k8s.PodRunning {
 			n++
 		}
-	}
+		return true
+	})
 	return n
 }
 
@@ -483,28 +519,32 @@ func (r *runner) pingpong(ev *Event) error {
 		return err
 	}
 	var doms []*libfabric.Domain
-	for _, obj := range r.st.Cluster.API.List(k8s.KindPod, tenant) {
-		pod := obj.(*k8s.Pod)
-		if pod.Meta.Labels["job-name"] != jobName || pod.Status.Phase != k8s.PodRunning {
-			continue
+	var domErr error
+	r.eachPod(tenant, jobName, func(pod *k8s.Pod) bool {
+		if pod.Status.Phase != k8s.PodRunning {
+			return true
 		}
 		node, ok := r.st.NodeByName(pod.Spec.NodeName)
 		if !ok {
-			return fmt.Errorf("pod %s on unknown node %s", pod.Meta.Name, pod.Spec.NodeName)
+			domErr = fmt.Errorf("pod %s on unknown node %s", pod.Meta.Name, pod.Spec.NodeName)
+			return false
 		}
 		proc, err := node.Runtime.Exec(pod.Meta.Namespace, pod.Meta.Name, "rank", 0, 0)
 		if err != nil {
-			return err
+			domErr = err
+			return false
 		}
 		d, err := libfabric.OpenDomain(r.st.Eng, libfabric.Info{
 			Device: node.Device, Caller: proc.PID, VNI: vni, TC: fabric.TCLowLatency})
 		if err != nil {
-			return err
+			domErr = err
+			return false
 		}
 		doms = append(doms, d)
-		if len(doms) == 2 {
-			break
-		}
+		return len(doms) < 2
+	})
+	if domErr != nil {
+		return domErr
 	}
 	if len(doms) < 2 {
 		return fmt.Errorf("need 2 pods for pingpong, found %d", len(doms))
@@ -565,7 +605,7 @@ func (r *runner) actual(a Assertion) float64 {
 		return float64(r.completedCount(a.Target))
 	case "jobs_pending":
 		n := 0
-		for _, obj := range r.st.Cluster.API.List(k8s.KindJob, a.Target) {
+		for _, obj := range r.jobs.List(a.Target) {
 			job := obj.(*k8s.Job)
 			if !job.Status.Completed {
 				n++
@@ -603,7 +643,7 @@ func (r *runner) actual(a Assertion) float64 {
 	case "distinct_tenant_vnis":
 		seen := map[string]string{} // vni value -> namespace
 		for _, t := range r.sc.Fleet.Tenants {
-			for _, obj := range r.st.Cluster.API.List(vniapi.KindVNI, t.Name) {
+			for _, obj := range r.vnis.List(t.Name) {
 				cr := obj.(*k8s.Custom)
 				if cr.Spec[vniapi.SpecVirtual] == "true" {
 					continue

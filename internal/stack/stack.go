@@ -116,14 +116,14 @@ func New(opts Options) *Stack {
 	s.Cluster = cluster
 
 	for _, node := range s.Nodes {
-		cxip := cni.NewCXIPlugin(eng, cluster.API, node.Device, root.PID, opts.CNI)
+		cxip := cni.NewCXIPlugin(eng, cluster.Client, node.Device, root.PID, opts.CNI)
 		node.CXICNI = cxip
 		chain := cni.NewChain(eng, 6e6 /* 6ms per plugin exec */, node.Overlay, cxip)
 		node.Runtime = container.NewRuntime(eng, kern, chain, opts.Container, node.Name)
 	}
 
 	if opts.VNIService {
-		s.VNISvc = vnisvc.Install(cluster.API, cluster.JobCtl, s.DB, opts.VNI)
+		s.VNISvc = vnisvc.Install(cluster.Client, cluster.JobCtl, s.DB, opts.VNI)
 	}
 	// Let node registration settle.
 	eng.RunFor(1e9)
@@ -206,7 +206,7 @@ func (s *Stack) NodeByName(name string) (*Node, bool) {
 
 // RuntimeForPod returns the runtime hosting a scheduled pod.
 func (s *Stack) RuntimeForPod(namespace, name string) (*container.Runtime, bool) {
-	obj, ok := s.Cluster.API.Get(k8s.KindPod, namespace, name)
+	obj, ok := s.Cluster.Client.Get(k8s.KindPod, namespace, name)
 	if !ok {
 		return nil, false
 	}

@@ -62,7 +62,7 @@ func TestRuntimeForPod(t *testing.T) {
 	job := k8s.EchoJob("t", "j", map[string]string{vniapi.Annotation: "true"})
 	job.Spec.Template.RunDuration = 30 * time.Second
 	job.Spec.DeleteAfterFinished = false
-	st.Cluster.SubmitJob(job, nil)
+	st.Cluster.SubmitJob(job)
 	st.Eng.RunFor(10 * time.Second)
 	rt, ok := st.RuntimeForPod("t", "j-0")
 	if !ok {
@@ -82,7 +82,7 @@ func TestStackDeterministicForSeed(t *testing.T) {
 		opts.Seed = seed
 		st := New(opts)
 		st.Cluster.CreateNamespace("t")
-		st.Cluster.SubmitJob(k8s.EchoJob("t", "j", map[string]string{vniapi.Annotation: "true"}), nil)
+		st.Cluster.SubmitJob(k8s.EchoJob("t", "j", map[string]string{vniapi.Annotation: "true"}))
 		st.Eng.RunFor(20 * time.Second)
 		out := ""
 		for _, e := range st.DB.Audit() {

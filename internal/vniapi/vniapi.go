@@ -68,3 +68,29 @@ func Requested(annotations map[string]string) (requested bool, claim string) {
 	}
 	return true, v
 }
+
+// IndexVNIByJob is the informer index filing VNI CRD instances under
+// "namespace/job-name" — the lookup the CXI CNI plugin and the pod gate
+// perform on every pod launch.
+const IndexVNIByJob = "vni-by-job"
+
+// VNIByJobIndex is the IndexFunc behind IndexVNIByJob.
+func VNIByJobIndex(obj k8s.Object) []string {
+	c, ok := obj.(*k8s.Custom)
+	if !ok {
+		return nil
+	}
+	job := c.Spec[SpecJob]
+	if job == "" {
+		return nil
+	}
+	return []string{c.Meta.Namespace + "/" + job}
+}
+
+// VNILister returns the cached lister over VNI CRD instances with the
+// by-job index registered — the one-call setup every VNI consumer uses.
+func VNILister(cli *k8s.Client) k8s.Lister {
+	inf := cli.Informer(KindVNI)
+	inf.AddIndex(IndexVNIByJob, VNIByJobIndex)
+	return inf.Lister()
+}

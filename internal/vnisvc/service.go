@@ -43,10 +43,11 @@ type Service struct {
 // holds pods of vni-annotated jobs until their VNI CRD instance exists —
 // the mechanism behind "pods can only launch when their acquisition request
 // for a fresh VNI has been served" (paper §III-C1).
-func Install(api *k8s.APIServer, jobCtl *k8s.JobController, db *vnidb.DB, cfg Config) *Service {
-	ep := NewEndpoint(db, api.Engine())
+func Install(cli *k8s.Client, jobCtl *k8s.JobController, db *vnidb.DB, cfg Config) *Service {
+	ep := NewEndpoint(db, cli.Engine())
+	vnis := vniapi.VNILister(cli)
 
-	jobDecorator := metactl.NewDecorator(api, metactl.Config{
+	jobDecorator := metactl.NewDecorator(cli, metactl.Config{
 		Name:       "vni-job-controller",
 		ParentKind: k8s.KindJob,
 		Selector: func(obj k8s.Object) bool {
@@ -60,7 +61,7 @@ func Install(api *k8s.APIServer, jobCtl *k8s.JobController, db *vnidb.DB, cfg Co
 		Jitter:         cfg.Jitter,
 	}, ep.JobHooks())
 
-	claimDecorator := metactl.NewDecorator(api, metactl.Config{
+	claimDecorator := metactl.NewDecorator(cli, metactl.Config{
 		Name:           "vni-claim-controller",
 		ParentKind:     vniapi.KindVniClaim,
 		ChildKind:      vniapi.KindVNI,
@@ -71,16 +72,20 @@ func Install(api *k8s.APIServer, jobCtl *k8s.JobController, db *vnidb.DB, cfg Co
 	}, ep.ClaimHooks())
 
 	// Pod-creation gate: a vni-annotated job's pods wait for its VNI CRD.
+	// The check is an O(1) indexed-lister lookup; it stays correct across
+	// the informer staleness window because the requeue below is driven by
+	// the same informer, whose cache absorbs the ADDED event before any
+	// handler (and hence any gate re-check) runs.
 	jobCtl.SetGate(func(job *k8s.Job) bool {
 		requested, _ := vniapi.Requested(job.Meta.Annotations)
 		if !requested {
 			return true
 		}
-		return hasVNIFor(api, job.Meta.Namespace, job.Meta.Name)
+		return vnis.IndexCount(vniapi.IndexVNIByJob, job.Meta.Namespace+"/"+job.Meta.Name) > 0
 	})
 	// When a VNI CRD instance appears, requeue its job so gated pods are
 	// created promptly.
-	api.Watch(vniapi.KindVNI, func(ev k8s.Event) {
+	cli.Watch(vniapi.KindVNI, k8s.WatchOptions{}, func(ev k8s.Event) {
 		if ev.Type != k8s.EventAdded {
 			return
 		}
@@ -100,16 +105,6 @@ func Install(api *k8s.APIServer, jobCtl *k8s.JobController, db *vnidb.DB, cfg Co
 func (s *Service) Resync() {
 	s.JobCtl.Resync()
 	s.ClaimCtl.Resync()
-}
-
-// hasVNIFor reports whether a VNI CRD instance exists for the job.
-func hasVNIFor(api *k8s.APIServer, namespace, jobName string) bool {
-	for _, obj := range api.List(vniapi.KindVNI, namespace) {
-		if cr, ok := obj.(*k8s.Custom); ok && cr.Spec[vniapi.SpecJob] == jobName {
-			return true
-		}
-	}
-	return false
 }
 
 // NewClaim builds a VniClaim object (paper Listing 2).

@@ -40,7 +40,7 @@ func TestPerResourceVNILifecycle(t *testing.T) {
 	s.Cluster.CreateNamespace("tenant")
 	job := k8s.EchoJob("tenant", "vni-test-job", map[string]string{vniapi.Annotation: "true"})
 	job.Spec.DeleteAfterFinished = false
-	s.Cluster.SubmitJob(job, nil)
+	s.Cluster.SubmitJob(job)
 	s.Eng.RunFor(30 * time.Second)
 
 	// The job completed and its VNI CRD instance exists.
@@ -62,7 +62,7 @@ func TestPerResourceVNILifecycle(t *testing.T) {
 	}
 	// Delete the job: finalizer runs, VNI released into quarantine, CRD
 	// garbage collected.
-	s.Cluster.API.Delete(k8s.KindJob, "tenant", "vni-test-job", nil)
+	s.Cluster.Client.Delete(k8s.KindJob, "tenant", "vni-test-job")
 	s.Eng.RunFor(30 * time.Second)
 	if _, ok := s.Cluster.Job("tenant", "vni-test-job"); ok {
 		t.Error("job survives deletion")
@@ -85,7 +85,7 @@ func TestDistinctJobsGetDistinctVNIs(t *testing.T) {
 	for _, name := range []string{"a", "b", "c"} {
 		job := k8s.EchoJob("tenant", name, map[string]string{vniapi.Annotation: "true"})
 		job.Spec.DeleteAfterFinished = false
-		s.Cluster.SubmitJob(job, nil)
+		s.Cluster.SubmitJob(job)
 	}
 	s.Eng.RunFor(time.Minute)
 	seen := map[string]bool{}
@@ -108,7 +108,7 @@ func TestPodGetsCXIServiceBoundToJobVNI(t *testing.T) {
 	job := k8s.EchoJob("tenant", "rdma-job", map[string]string{vniapi.Annotation: "true"})
 	job.Spec.Template.RunDuration = 20 * time.Second // keep pod alive
 	job.Spec.DeleteAfterFinished = false
-	s.Cluster.SubmitJob(job, nil)
+	s.Cluster.SubmitJob(job)
 	s.Eng.RunFor(10 * time.Second)
 
 	cr, ok := vniOf(s, "tenant", "rdma-job")
@@ -145,14 +145,14 @@ func TestPodGetsCXIServiceBoundToJobVNI(t *testing.T) {
 func TestVNIClaimSharedAcrossJobs(t *testing.T) {
 	s := newStack(t)
 	s.Cluster.CreateNamespace("vnitest")
-	s.Cluster.API.Create(vnisvc.NewClaim("vnitest", "vni-claim-test", "test"), nil)
+	s.Cluster.Client.Create(vnisvc.NewClaim("vnitest", "vni-claim-test", "test"))
 	s.Eng.RunFor(5 * time.Second)
 
 	for _, name := range []string{"j1", "j2"} {
 		job := k8s.EchoJob("vnitest", name, map[string]string{vniapi.Annotation: "vni-claim-test"})
 		job.Spec.Template.RunDuration = 30 * time.Second
 		job.Spec.DeleteAfterFinished = false
-		s.Cluster.SubmitJob(job, nil)
+		s.Cluster.SubmitJob(job)
 	}
 	s.Eng.RunFor(15 * time.Second)
 
@@ -185,17 +185,17 @@ func TestVNIClaimSharedAcrossJobs(t *testing.T) {
 func TestClaimDeletionBlockedWhileUsersRemain(t *testing.T) {
 	s := newStack(t)
 	s.Cluster.CreateNamespace("vnitest")
-	s.Cluster.API.Create(vnisvc.NewClaim("vnitest", "claim-obj", "shared"), nil)
+	s.Cluster.Client.Create(vnisvc.NewClaim("vnitest", "claim-obj", "shared"))
 	s.Eng.RunFor(5 * time.Second)
 
 	job := k8s.EchoJob("vnitest", "user-job", map[string]string{vniapi.Annotation: "claim-obj"})
 	job.Spec.Template.RunDuration = 40 * time.Second
 	job.Spec.DeleteAfterFinished = false
-	s.Cluster.SubmitJob(job, nil)
+	s.Cluster.SubmitJob(job)
 	s.Eng.RunFor(10 * time.Second)
 
 	// Try deleting the claim while the job uses it.
-	s.Cluster.API.Delete(vniapi.KindVniClaim, "vnitest", "claim-obj", nil)
+	s.Cluster.Client.Delete(vniapi.KindVniClaim, "vnitest", "claim-obj")
 	s.Eng.RunFor(10 * time.Second)
 	if _, ok := s.Cluster.API.Get(vniapi.KindVniClaim, "vnitest", "claim-obj"); !ok {
 		t.Fatal("claim deleted while a job still uses it")
@@ -204,7 +204,7 @@ func TestClaimDeletionBlockedWhileUsersRemain(t *testing.T) {
 		t.Error("no stalled finalizations recorded")
 	}
 	// Delete the job; the claim deletion must then proceed.
-	s.Cluster.API.Delete(k8s.KindJob, "vnitest", "user-job", nil)
+	s.Cluster.Client.Delete(k8s.KindJob, "vnitest", "user-job")
 	s.Eng.RunFor(time.Minute)
 	if _, ok := s.Cluster.API.Get(vniapi.KindVniClaim, "vnitest", "claim-obj"); ok {
 		t.Error("claim not deleted after last user left")
@@ -219,7 +219,7 @@ func TestJobRedeemingMissingClaimNeverLaunches(t *testing.T) {
 	s.Cluster.CreateNamespace("vnitest")
 	job := k8s.EchoJob("vnitest", "orphan", map[string]string{vniapi.Annotation: "no-such-claim"})
 	job.Spec.DeleteAfterFinished = false
-	s.Cluster.SubmitJob(job, nil)
+	s.Cluster.SubmitJob(job)
 	s.Eng.RunFor(30 * time.Second)
 	got, _ := s.Cluster.Job("vnitest", "orphan")
 	if got.Status.Completed {
@@ -242,7 +242,7 @@ func TestReleasedVNIQuarantined30s(t *testing.T) {
 	s.Cluster.CreateNamespace("t")
 
 	j1 := k8s.EchoJob("t", "first", map[string]string{vniapi.Annotation: "true"})
-	s.Cluster.SubmitJob(j1, nil) // auto-deleted after completion
+	s.Cluster.SubmitJob(j1) // auto-deleted after completion
 	s.Eng.RunFor(10 * time.Second)
 	if st := s.DB.Stats(); st.Quarantined != 1 {
 		t.Fatalf("first job's VNI not quarantined: %+v", st)
@@ -252,7 +252,7 @@ func TestReleasedVNIQuarantined30s(t *testing.T) {
 	// CRD can be created.
 	j2 := k8s.EchoJob("t", "second", map[string]string{vniapi.Annotation: "true"})
 	j2.Spec.DeleteAfterFinished = false
-	s.Cluster.SubmitJob(j2, nil)
+	s.Cluster.SubmitJob(j2)
 	s.Eng.RunFor(5 * time.Second)
 	if _, ok := vniOf(s, "t", "second"); ok {
 		t.Fatal("VNI handed out while quarantined")
@@ -273,7 +273,7 @@ func TestBaselineClusterWithoutIntegration(t *testing.T) {
 	s.Cluster.CreateNamespace("t")
 	job := k8s.EchoJob("t", "plain", nil) // vni:false — no annotation
 	job.Spec.DeleteAfterFinished = false
-	s.Cluster.SubmitJob(job, nil)
+	s.Cluster.SubmitJob(job)
 	s.Eng.RunFor(30 * time.Second)
 	got, _ := s.Cluster.Job("t", "plain")
 	if !got.Status.Completed {
@@ -292,7 +292,7 @@ func TestEndpointSyncIdempotentAcrossResyncs(t *testing.T) {
 	s.Cluster.CreateNamespace("t")
 	job := k8s.EchoJob("t", "idem", map[string]string{vniapi.Annotation: "true"})
 	job.Spec.DeleteAfterFinished = false
-	s.Cluster.SubmitJob(job, nil)
+	s.Cluster.SubmitJob(job)
 	s.Eng.RunFor(20 * time.Second)
 	for i := 0; i < 3; i++ {
 		s.VNISvc.JobCtl.Resync()
@@ -324,7 +324,7 @@ func TestEndpointWALRecoveryMidCluster(t *testing.T) {
 		job := k8s.EchoJob("t", fmt.Sprintf("j%d", i), map[string]string{vniapi.Annotation: "true"})
 		job.Spec.Template.RunDuration = time.Hour
 		job.Spec.DeleteAfterFinished = false
-		s.Cluster.SubmitJob(job, nil)
+		s.Cluster.SubmitJob(job)
 	}
 	s.Eng.RunFor(15 * time.Second)
 	if st := s.DB.Stats(); st.Allocated != 4 {
@@ -383,7 +383,7 @@ func TestQuarantineHazardWithStragglingPod(t *testing.T) {
 		j1.Spec.Template.RunDuration = time.Hour
 		j1.Spec.Template.TerminationGracePeriod = 25 * time.Second
 		j1.Spec.DeleteAfterFinished = false
-		s.Cluster.SubmitJob(j1, nil)
+		s.Cluster.SubmitJob(j1)
 		s.Eng.RunFor(10 * time.Second)
 		if _, ok := vniOf(s, "t", "victim"); !ok {
 			t.Fatal("victim job got no VNI")
@@ -391,14 +391,14 @@ func TestQuarantineHazardWithStragglingPod(t *testing.T) {
 
 		// Delete tenant 1: the VNI is released by the finalizer, but the
 		// pod lingers for its grace period.
-		s.Cluster.API.Delete(k8s.KindJob, "t", "victim", nil)
+		s.Cluster.Client.Delete(k8s.KindJob, "t", "victim")
 		s.Eng.RunFor(3 * time.Second)
 
 		// Tenant 2 arrives immediately.
 		j2 := k8s.EchoJob("t", "attacker", map[string]string{vniapi.Annotation: "true"})
 		j2.Spec.Template.RunDuration = time.Hour
 		j2.Spec.DeleteAfterFinished = false
-		s.Cluster.SubmitJob(j2, nil)
+		s.Cluster.SubmitJob(j2)
 		s.Eng.RunFor(8 * time.Second) // still inside tenant 1's grace window
 
 		_, reused = vniOf(s, "t", "attacker")
