@@ -9,7 +9,8 @@
 //	shsbench -exp fig12 -runs 5 -seed 42
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
-// comm (fig5-8), admission (fig9-12), all.
+// comm (fig5-8), admission (fig9-12), fabric (multi-group hot-link
+// report), all.
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig5..fig12, comm, admission, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig5..fig12, comm, admission, fabric, all)")
 	runs := flag.Int("runs", 0, "repetitions per mode (0 = paper defaults: 10 comm / 5 admission)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	flag.Parse()
@@ -134,6 +135,19 @@ func run(exp string, runs int, seed int64) error {
 		}
 		header("Extension: Overlay vs Slingshot RDMA")
 		harness.RenderOverlayComparison(os.Stdout, rows)
+	}
+	if selected("fabric") {
+		// Extension experiment: multi-group dragonfly hot-link report —
+		// which trunks an all-to-all load saturates, the observability
+		// fleet-scale scenarios lean on.
+		cfg := harness.DefaultFabricReportConfig()
+		cfg.Seed = seed
+		rep, err := harness.RunFabricReport(cfg)
+		if err != nil {
+			return err
+		}
+		header("Extension: Fabric Hot Links (multi-group all-to-all)")
+		harness.RenderFabricReport(os.Stdout, rep, 12)
 	}
 	if selected("tc") {
 		// Extension experiment (not a paper figure): traffic-class

@@ -12,7 +12,9 @@
 //	shssim list [dir]                list scenarios with their descriptions
 //
 // Flags for run: -v (print the event narration), -workers N (parallel
-// scenario runs for directories; results print in deterministic order).
+// scenario runs for directories; results print in deterministic order),
+// -seed N (override every scenario's baked-in seed; the effective seed is
+// printed either way, so any run can be reproduced exactly).
 package main
 
 import (
@@ -56,7 +58,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
-  shssim run [-v] [-workers N] <file-or-dir> [...]
+  shssim run [-v] [-workers N] [-seed N] <file-or-dir> [...]
   shssim validate <file> [...]
   shssim list [dir]
 `)
@@ -102,6 +104,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	verbose := fs.Bool("v", false, "print the event narration for each run")
 	workers := fs.Int("workers", 4, "scenarios run in parallel")
+	seed := fs.Int64("seed", 0, "override the scenario seed (0 = use each file's seed)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -123,6 +126,9 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "shssim: %v\n", err)
 			return 1
+		}
+		if *seed != 0 {
+			sc.Seed = *seed
 		}
 		scenarios[i] = sc
 	}
@@ -162,7 +168,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 }
 
 func printResult(w io.Writer, file string, res *scenario.Result, verbose bool) {
-	fmt.Fprintf(w, "\n=== %s (%s)\n", res.Scenario.Name, file)
+	fmt.Fprintf(w, "\n=== %s (%s, seed %d)\n", res.Scenario.Name, file, res.Scenario.Seed)
 	if verbose {
 		for _, line := range res.Log {
 			fmt.Fprintf(w, "    %s\n", line)

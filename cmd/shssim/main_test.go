@@ -63,6 +63,36 @@ func TestRunQuickstartTwiceDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunSeedFlag overrides the file's seed from the CLI: the report must
+// carry the effective seed, and two runs with the same override must be
+// byte-identical while differing from the file-seed run (the RNG stream
+// actually changed).
+func TestRunSeedFlag(t *testing.T) {
+	file := filepath.Join(repoScenarios(t), "quickstart.yaml")
+	runWith := func(args ...string) string {
+		t.Helper()
+		var out, errb bytes.Buffer
+		if code := run(append(args, file), &out, &errb); code != 0 {
+			t.Fatalf("run exited %d:\n%s%s", code, out.String(), errb.String())
+		}
+		return out.String()
+	}
+	base := runWith("run", "-v")
+	if !strings.Contains(base, "seed 1)") {
+		t.Errorf("default run does not report the file seed:\n%s", base)
+	}
+	seeded := runWith("run", "-v", "-seed", "99")
+	if !strings.Contains(seeded, "seed 99)") {
+		t.Errorf("seeded run does not report the override:\n%s", seeded)
+	}
+	if seeded == base {
+		t.Error("seed override did not change the run")
+	}
+	if again := runWith("run", "-v", "-seed", "99"); again != seeded {
+		t.Error("two runs with the same -seed differ")
+	}
+}
+
 func TestRunFailingScenarioExitsNonZero(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fail.yaml")
 	src := `name: doomed

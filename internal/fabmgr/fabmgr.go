@@ -71,6 +71,24 @@ type Manager struct {
 	// port's partition range.
 	partitions map[fabric.Addr]Partition
 	audit      []AuditEntry
+	// topo, when set, is the fabric topology under management; the
+	// manager exposes it to control-plane consumers (scheduler hints,
+	// health reporting) that must not reach into the data plane.
+	topo *fabric.Topology
+}
+
+// FabricHealth is the manager's summary of the fabric's link state, the
+// operator-facing counterpart of the data plane's per-link counters.
+type FabricHealth struct {
+	// Switches and Links count the fabric's elements (links are
+	// directional).
+	Switches, Links int
+	// DownLinks counts administratively failed directional links.
+	DownLinks int
+	// TrunkDrops totals packets lost to down trunks fabric-wide.
+	TrunkDrops uint64
+	// GlobalBytes totals payload carried over inter-group links.
+	GlobalBytes uint64
 }
 
 // Partition is an inclusive VNI range assigned to a set of ports (e.g. a
@@ -99,6 +117,43 @@ func New(clock sim.Clock, granter Granter, policy Policy) *Manager {
 		m.reserved[v] = true
 	}
 	return m
+}
+
+// SetTopology hands the manager the fabric topology it manages. The
+// manager does not route — it exposes the topology to consumers that need
+// placement hints or health state without touching the data plane.
+func (m *Manager) SetTopology(t *fabric.Topology) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.topo = t
+}
+
+// Topology returns the managed topology, nil before SetTopology.
+func (m *Manager) Topology() *fabric.Topology {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.topo
+}
+
+// FabricHealth summarizes the managed fabric's link state; the zero value
+// is returned before SetTopology.
+func (m *Manager) FabricHealth() FabricHealth {
+	t := m.Topology()
+	if t == nil {
+		return FabricHealth{}
+	}
+	h := FabricHealth{
+		Switches:    len(t.Switches()),
+		TrunkDrops:  t.TrunkDrops(),
+		GlobalBytes: t.GlobalLinkBytes(),
+	}
+	for _, l := range t.Links() {
+		h.Links++
+		if l.Down {
+			h.DownLinks++
+		}
+	}
+	return h
 }
 
 // AssignPartition restricts a port to a VNI partition.

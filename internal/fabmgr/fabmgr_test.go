@@ -130,6 +130,37 @@ func TestAuditTrail(t *testing.T) {
 	}
 }
 
+func TestManagerTopologyHealth(t *testing.T) {
+	eng := sim.NewEngine(1)
+	cfg := fabric.DefaultConfig()
+	cfg.JitterFrac, cfg.RunSigma = 0, 0
+	topo := fabric.NewTopology(eng, cfg, fabric.TopologySpec{Groups: 2, SwitchesPerGroup: 2})
+	m := New(eng, topo, Policy{})
+	if m.Topology() != nil {
+		t.Fatal("topology set before SetTopology")
+	}
+	if h := m.FabricHealth(); h != (FabricHealth{}) {
+		t.Fatalf("health before SetTopology = %+v, want zero", h)
+	}
+	m.SetTopology(topo)
+	if m.Topology() != topo {
+		t.Fatal("SetTopology not exposed")
+	}
+	h := m.FabricHealth()
+	// 2 groups × 2 switches: 2 directional intra links per group plus 2
+	// directional global links for the single pair.
+	if h.Switches != 4 || h.Links != 6 || h.DownLinks != 0 {
+		t.Errorf("health = %+v, want 4 switches, 6 links, 0 down", h)
+	}
+	gl := topo.GlobalLinks(0, 1)
+	if err := topo.SetTrunkDown(gl[0].From, gl[0].To, true); err != nil {
+		t.Fatal(err)
+	}
+	if h := m.FabricHealth(); h.DownLinks != 2 {
+		t.Errorf("down links = %d after failing one trunk (both directions), want 2", h.DownLinks)
+	}
+}
+
 func TestManagerOverMesh(t *testing.T) {
 	eng := sim.NewEngine(1)
 	cfg := fabric.DefaultConfig()

@@ -1,132 +1,20 @@
 package fabric
 
 import (
-	"fmt"
-	"sync"
-
 	"github.com/caps-sim/shs-k8s/internal/sim"
 )
 
-// Mesh is a multi-switch fabric: edge switches fully meshed over trunk
-// links, the shape of one Slingshot dragonfly group. VNI enforcement stays
-// at the edge, as on Rosetta: the ingress ACL is checked at the source edge
-// switch, the egress ACL at the destination edge switch; trunks carry all
-// VNIs.
-type Mesh struct {
-	mu       sync.Mutex
-	eng      *sim.Engine
-	cfg      Config
-	switches []*Switch
-	owner    map[Addr]*Switch
-	trunks   map[[2]int]*trunk // directional, keyed by (from, to) index
-	index    map[*Switch]int
-}
+// Mesh is the historical name for a single dragonfly group: edge switches
+// fully meshed over intra-group trunk links. It is now an alias of the
+// general Topology — NewMesh(n) ≡ NewTopology with one group of n
+// switches — kept so existing callers and the fabmgr Granter docs stay
+// accurate.
+type Mesh = Topology
 
-// trunk is one direction of an inter-switch link.
-type trunk struct {
-	busyAt sim.Time
-}
-
-// NewMesh builds n fully meshed switches.
+// NewMesh builds n fully meshed switches (one dragonfly group).
 func NewMesh(eng *sim.Engine, cfg Config, n int) *Mesh {
 	if n < 1 {
 		panic("fabric: mesh needs at least one switch")
 	}
-	m := &Mesh{
-		eng:    eng,
-		cfg:    cfg,
-		owner:  make(map[Addr]*Switch),
-		trunks: make(map[[2]int]*trunk),
-		index:  make(map[*Switch]int),
-	}
-	for i := 0; i < n; i++ {
-		sw := NewSwitch(fmt.Sprintf("rosetta%d", i), eng, cfg)
-		m.index[sw] = i
-		m.switches = append(m.switches, sw)
-	}
-	for i := range m.switches {
-		for j := range m.switches {
-			if i != j {
-				m.trunks[[2]int{i, j}] = &trunk{}
-			}
-		}
-	}
-	// Wire remote routing: unknown local destinations are forwarded over
-	// the trunk toward the owning switch.
-	for _, sw := range m.switches {
-		sw := sw
-		sw.remoteRoute = func(p *Packet) bool { return m.forward(sw, p) }
-	}
-	// Addresses must be globally unique: switches share an allocator.
-	for _, sw := range m.switches[1:] {
-		sw.addrAlloc = m.switches[0].addrAlloc
-	}
-	return m
-}
-
-// Switches returns the edge switches.
-func (m *Mesh) Switches() []*Switch { return m.switches }
-
-// Attach connects a receiver to edge switch i and records ownership for
-// mesh-wide routing.
-func (m *Mesh) Attach(i int, r Receiver) Addr {
-	sw := m.switches[i]
-	addr := sw.Attach(r)
-	m.mu.Lock()
-	m.owner[addr] = sw
-	m.mu.Unlock()
-	return addr
-}
-
-// SwitchFor returns the edge switch owning addr.
-func (m *Mesh) SwitchFor(addr Addr) (*Switch, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	sw, ok := m.owner[addr]
-	return sw, ok
-}
-
-// GrantVNI authorizes addr for vni at its edge switch.
-func (m *Mesh) GrantVNI(addr Addr, vni VNI) error {
-	sw, ok := m.SwitchFor(addr)
-	if !ok {
-		return fmt.Errorf("fabric: mesh grant: unknown addr %d", addr)
-	}
-	return sw.GrantVNI(addr, vni)
-}
-
-// RevokeVNI removes addr's authorization for vni at its edge switch.
-func (m *Mesh) RevokeVNI(addr Addr, vni VNI) error {
-	sw, ok := m.SwitchFor(addr)
-	if !ok {
-		return fmt.Errorf("fabric: mesh revoke: unknown addr %d", addr)
-	}
-	return sw.RevokeVNI(addr, vni)
-}
-
-// forward carries p from src's switch to the destination's edge switch over
-// the trunk. Returns false if the destination is unknown mesh-wide.
-func (m *Mesh) forward(from *Switch, p *Packet) bool {
-	m.mu.Lock()
-	dst, ok := m.owner[p.Dst]
-	if !ok || dst == from {
-		m.mu.Unlock()
-		return false
-	}
-	key := [2]int{m.index[from], m.index[dst]}
-	tr := m.trunks[key]
-	now := m.eng.Now()
-	start := now
-	if tr.busyAt > start {
-		start = tr.busyAt
-	}
-	tx := m.eng.Jitter(from.wireTime(p.WireBytes(m.cfg.FrameHeaderBytes)), m.cfg.JitterFrac)
-	end := start.Add(tx)
-	tr.busyAt = end
-	m.mu.Unlock()
-
-	arrive := end.Add(m.cfg.PropagationDelay)
-	pkt := *p
-	m.eng.At(arrive, func() { dst.InjectFromTrunk(&pkt) })
-	return true
+	return NewTopology(eng, cfg, TopologySpec{Groups: 1, SwitchesPerGroup: n})
 }

@@ -1,0 +1,151 @@
+package fabric
+
+import "time"
+
+// routeVerdict is what a switch's remoteRoute callback reports back to
+// Inject, which still holds the switch lock and must account the outcome.
+type routeVerdict int
+
+const (
+	// routeUnknown: the destination is not reachable through the fabric
+	// (not attached anywhere, or only to the asking switch itself); the
+	// caller drops with DropNoRoute.
+	routeUnknown routeVerdict = iota
+	// routeForwarded: the packet was serialized onto a trunk.
+	routeForwarded
+	// routeLinkDown: every minimal path's first link is down; the caller
+	// drops with DropLinkDown.
+	routeLinkDown
+)
+
+// routeFrom builds the remoteRoute callback for one edge switch. The
+// callback is invoked from Switch.Inject with that switch's lock held; it
+// touches only topology and engine state.
+func (t *Topology) routeFrom(sw *Switch) func(p *Packet) routeVerdict {
+	return func(p *Packet) routeVerdict {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		dst, ok := t.owner[p.Dst]
+		if !ok || dst == sw {
+			return routeUnknown
+		}
+		return t.hopLocked(sw, dst, p)
+	}
+}
+
+// nextLinkLocked resolves the first link of a minimal path from cur toward
+// dst. Within a group that is the direct intra-group trunk. Across groups
+// the candidates are the group pair's global links; for each, the path is
+// (optional intra hop to the gateway) + global hop + (optional intra hop
+// at the far side), and the shortest live path wins, ties broken by
+// dragonfly port order. ok=false with reason DropLinkDown means every
+// minimal path's entry link is down.
+func (t *Topology) nextLinkLocked(cur, dst *Switch) (*link, DropReason, bool) {
+	ci, di := t.index[cur], t.index[dst]
+	gc, gd := t.groupOf[ci], t.groupOf[di]
+	if gc == gd {
+		l := t.links[LinkID{ci, di}]
+		if l.down {
+			l.stats.Drops++
+			return nil, DropLinkDown, false
+		}
+		return l, 0, true
+	}
+	var best *link
+	bestHops := int(^uint(0) >> 1)
+	var firstCandidate *link
+	for _, gid := range t.globals[[2]int{gc, gd}] {
+		g := t.links[gid]
+		if firstCandidate == nil {
+			firstCandidate = g
+		}
+		if g.down {
+			continue
+		}
+		entry := g
+		hops := 1
+		if gid.From != ci {
+			intra := t.links[LinkID{ci, gid.From}]
+			if intra.down {
+				continue
+			}
+			entry = intra
+			hops++
+		}
+		if gid.To != di {
+			if t.links[LinkID{gid.To, di}].down {
+				continue // far-side intra hop is dead: not a live path
+			}
+			hops++
+		}
+		if hops < bestHops {
+			best, bestHops = entry, hops
+		}
+	}
+	if best == nil {
+		// No live minimal path; attribute the loss to the preferred
+		// global link so hot-link reports show where traffic died.
+		if firstCandidate != nil {
+			firstCandidate.stats.Drops++
+		}
+		return nil, DropLinkDown, false
+	}
+	return best, 0, true
+}
+
+// hopLocked serializes p onto the next link toward dst and schedules its
+// arrival at the far switch. Congestion is modelled per directional link:
+// a packet starts serializing when the link frees up (busy-until), so
+// competing flows queue behind each other exactly as on a real trunk.
+func (t *Topology) hopLocked(cur, dst *Switch, p *Packet) routeVerdict {
+	l, reason, ok := t.nextLinkLocked(cur, dst)
+	if !ok {
+		_ = reason // always DropLinkDown today
+		return routeLinkDown
+	}
+	now := t.eng.Now()
+	start := now
+	if l.busyAt > start {
+		start = l.busyAt
+	}
+	tx := t.eng.Jitter(wireTime(l.bwBits, p.WireBytes(t.cfg.FrameHeaderBytes)), t.cfg.JitterFrac)
+	end := start.Add(tx)
+	l.busyAt = end
+	l.busyAccum += tx
+	l.stats.Forwarded++
+	l.stats.Bytes += uint64(p.PayloadBytes)
+
+	arrive := end.Add(l.prop)
+	next := t.switches[l.id.To]
+	pkt := *p
+	t.eng.At(arrive, func() { t.arrive(next, dst, &pkt) })
+	return routeForwarded
+}
+
+// arrive lands a packet at a switch on its path. At the destination edge
+// it enters local delivery (egress ACL + port serialization); at an
+// intermediate switch it pays the forwarding latency and takes the next
+// hop, re-resolving the route so links failed or recovered while the
+// packet was in flight take effect.
+func (t *Topology) arrive(sw, dst *Switch, p *Packet) {
+	if sw == dst {
+		sw.InjectFromTrunk(p)
+		return
+	}
+	t.eng.After(t.eng.Jitter(t.cfg.SwitchLatency, t.cfg.JitterFrac), func() {
+		t.mu.Lock()
+		v := t.hopLocked(sw, dst, p)
+		t.mu.Unlock()
+		switch v {
+		case routeLinkDown:
+			sw.dropExternal(p, DropLinkDown)
+		case routeUnknown:
+			sw.dropExternal(p, DropNoRoute)
+		}
+	})
+}
+
+// wireTime returns the serialization time of n bytes at bwBits bits/s.
+func wireTime(bwBits float64, bytes int) time.Duration {
+	return time.Duration(float64(bytes*8) / bwBits * float64(time.Second))
+}

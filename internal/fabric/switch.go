@@ -82,10 +82,14 @@ type Switch struct {
 	// addresses stay globally unique.
 	addrAlloc *addrAllocator
 
-	// remoteRoute, when set (by a Mesh), is consulted for destinations
-	// that are not local ports before dropping with no_route. The ingress
-	// ACL has already passed when it is called.
-	remoteRoute func(p *Packet) bool
+	// remoteRoute, when set (by a Topology), is consulted for
+	// destinations that are not local ports before dropping with
+	// no_route. The ingress ACL has already passed when it is called.
+	remoteRoute func(p *Packet) routeVerdict
+
+	// onAttach, when set (by a Topology), observes every port attachment
+	// so the fabric records which edge switch owns each address.
+	onAttach func(addr Addr, s *Switch)
 
 	// dropHook, when set, observes every dropped packet (used by tests and
 	// by the isolation examples to demonstrate enforcement).
@@ -145,8 +149,12 @@ func (s *Switch) Config() Config { return s.cfg }
 func (s *Switch) Attach(r Receiver) Addr {
 	addr := s.addrAlloc.alloc()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.ports[addr] = &port{addr: addr, recv: r, vnis: make(map[VNI]bool)}
+	hook := s.onAttach
+	s.mu.Unlock()
+	if hook != nil {
+		hook(addr, s)
+	}
 	return addr
 }
 
@@ -245,9 +253,10 @@ func (s *Switch) SetPartition(groups map[Addr]int) {
 	}
 }
 
-// wireTime returns the serialization time of n bytes at line rate.
+// wireTime returns the serialization time of n bytes at the switch's
+// line rate (shared formula: routing.go wireTime).
 func (s *Switch) wireTime(bytes int) time.Duration {
-	return time.Duration(float64(bytes*8) / s.cfg.LinkBandwidthBits * float64(time.Second))
+	return wireTime(s.cfg.LinkBandwidthBits, bytes)
 }
 
 func (s *Switch) drop(p *Packet, r DropReason) {
@@ -259,6 +268,14 @@ func (s *Switch) drop(p *Packet, r DropReason) {
 		// re-entrancy surprises.
 		s.eng.After(0, func() { hook(&pkt, r) })
 	}
+}
+
+// dropExternal records a drop decided outside the switch's own forwarding
+// path — a topology hop whose trunk link went down mid-flight.
+func (s *Switch) dropExternal(p *Packet, r DropReason) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drop(p, r)
 }
 
 // InjectFromTrunk delivers a packet arriving over an inter-switch trunk:
@@ -310,13 +327,19 @@ func (s *Switch) Inject(p *Packet) {
 	}
 	out, ok := s.ports[p.Dst]
 	if !ok {
-		// Not local: a meshed switch forwards over the trunk toward the
-		// owning edge switch (ingress ACL already passed; the egress ACL
-		// is enforced there). remoteRoute only touches mesh and engine
-		// state, never this switch's lock.
-		if s.remoteRoute != nil && s.remoteRoute(p) {
-			s.stats.TrunkForwarded++
-			return
+		// Not local: a topology-member switch forwards over a trunk
+		// toward the owning edge switch (ingress ACL already passed; the
+		// egress ACL is enforced there). remoteRoute only touches
+		// topology and engine state, never this switch's lock.
+		if s.remoteRoute != nil {
+			switch s.remoteRoute(p) {
+			case routeForwarded:
+				s.stats.TrunkForwarded++
+				return
+			case routeLinkDown:
+				s.drop(p, DropLinkDown)
+				return
+			}
 		}
 		s.drop(p, DropNoRoute)
 		return

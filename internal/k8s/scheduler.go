@@ -13,6 +13,16 @@ type SchedulerConfig struct {
 	BindLatency sim.Duration
 	// Jitter fraction on BindLatency.
 	Jitter float64
+	// NodeGroups maps node name → fabric topology group (dragonfly
+	// group). When set, placement prefers co-locating a job's pods
+	// within the group that already hosts most of them; an empty map
+	// means one flat group and pure least-loaded spread.
+	NodeGroups map[string]int
+	// NodeCapacity is the soft per-node pod budget behind cross-group
+	// spill: nodes at or over it are avoided while any node below it
+	// exists, even at the cost of leaving the preferred group. 0
+	// disables the pressure check.
+	NodeCapacity int
 }
 
 // DefaultSchedulerConfig matches a lightly loaded k3s scheduler.
@@ -20,16 +30,22 @@ func DefaultSchedulerConfig() SchedulerConfig {
 	return SchedulerConfig{BindLatency: 12 * time.Millisecond, Jitter: 0.4}
 }
 
-// Scheduler assigns pending pods to nodes. It implements the paper's
-// "topology spread constraints" usage by always spreading: the node with
-// the fewest non-terminal pods wins, so the two OSU ranks land on the two
-// different nodes exactly as the paper configures via Volcano.
+// Scheduler assigns pending pods to nodes. Within one topology group it
+// implements the paper's "topology spread constraints" usage by always
+// spreading: the node with the fewest non-terminal pods wins, so the two
+// OSU ranks land on the two different nodes exactly as the paper
+// configures via Volcano. Across dragonfly groups (SchedulerConfig.
+// NodeGroups) it instead co-locates: a job's pods prefer the group that
+// already hosts most of them, keeping their RDMA traffic off the global
+// links; when every node of the preferred group reaches NodeCapacity the
+// job spills to the next group.
 //
-// Placement reads no cluster-wide state: per-node pod counts are maintained
-// incrementally from the shared pod informer, and bindings not yet
-// reflected in the cache are carried in an assume cache (kube-scheduler's
-// "assumed pods"), so picking a node is O(nodes) regardless of fleet size —
-// the seed implementation re-listed and deep-copied every pod per placement.
+// Placement reads no cluster-wide state: per-node pod counts and per-job
+// group counts are maintained incrementally from the shared pod informer,
+// and bindings not yet reflected in the cache are carried in an assume
+// cache (kube-scheduler's "assumed pods"), so picking a node is O(nodes)
+// regardless of fleet size — the seed implementation re-listed and
+// deep-copied every pod per placement.
 type Scheduler struct {
 	cli   *Client
 	cfg   SchedulerConfig
@@ -42,19 +58,30 @@ type Scheduler struct {
 	bound  map[string]string
 	// assumed carries this scheduler's own bindings until the informer
 	// confirms them, so back-to-back placements inside the watch-delivery
-	// window still spread.
-	assumed map[string]string
+	// window still spread (and still co-locate).
+	assumed map[string]assumedBinding
+	// jobGroup counts each job's committed pods per topology group, the
+	// signal behind group co-location. Keyed by "namespace/job-name".
+	jobGroup map[string]map[int]int
+}
+
+// assumedBinding is one not-yet-confirmed placement: the node it went to
+// and the job it counts toward.
+type assumedBinding struct {
+	node string
+	job  string
 }
 
 // NewScheduler creates and starts a scheduler over the given node names.
 func NewScheduler(cli *Client, cfg SchedulerConfig, nodes []string) *Scheduler {
 	s := &Scheduler{
-		cli:     cli,
-		cfg:     cfg,
-		nodes:   append([]string(nil), nodes...),
-		counts:  make(map[string]int),
-		bound:   make(map[string]string),
-		assumed: make(map[string]string),
+		cli:      cli,
+		cfg:      cfg,
+		nodes:    append([]string(nil), nodes...),
+		counts:   make(map[string]int),
+		bound:    make(map[string]string),
+		assumed:  make(map[string]assumedBinding),
+		jobGroup: make(map[string]map[int]int),
 	}
 	cli.Watch(KindPod, WatchOptions{}, s.onPod)
 	return s
@@ -77,9 +104,11 @@ func (s *Scheduler) onPod(ev Event) {
 	if old := s.bound[key]; old != effective {
 		if old != "" {
 			s.counts[old]--
+			s.adjustJobGroup(pod, old, -1)
 		}
 		if effective != "" {
 			s.counts[effective]++
+			s.adjustJobGroup(pod, effective, +1)
 		}
 		if effective == "" {
 			delete(s.bound, key)
@@ -95,6 +124,49 @@ func (s *Scheduler) onPod(ev Event) {
 
 	if ev.Type == EventAdded && pod.Spec.NodeName == "" && pod.Status.Phase == PodPending {
 		s.enqueue(key)
+	}
+}
+
+// jobKeyOf returns the pod's job identity ("namespace/job-name"), or ""
+// for pods outside any job (no co-location signal).
+func jobKeyOf(pod *Pod) string {
+	name := pod.Meta.Labels["job-name"]
+	if name == "" {
+		return ""
+	}
+	return pod.Meta.Namespace + "/" + name
+}
+
+// groupOf returns the topology group of a node; unmapped nodes share
+// group 0 (one flat group when NodeGroups is empty).
+func (s *Scheduler) groupOf(node string) int { return s.cfg.NodeGroups[node] }
+
+// adjustJobGroup folds a committed binding change into the per-job group
+// counts. Skipped entirely without a topology: the counts would all land
+// in group 0 and never influence scoring.
+func (s *Scheduler) adjustJobGroup(pod *Pod, node string, delta int) {
+	if len(s.cfg.NodeGroups) == 0 {
+		return
+	}
+	job := jobKeyOf(pod)
+	if job == "" {
+		return
+	}
+	g := s.groupOf(node)
+	m := s.jobGroup[job]
+	if m == nil {
+		if delta < 0 {
+			return
+		}
+		m = make(map[int]int)
+		s.jobGroup[job] = m
+	}
+	m[g] += delta
+	if m[g] <= 0 {
+		delete(m, g)
+	}
+	if len(m) == 0 {
+		delete(s.jobGroup, job)
 	}
 }
 
@@ -130,7 +202,7 @@ func (s *Scheduler) bind(key string) {
 	if pod.Spec.NodeName != "" || pod.Meta.Deleting {
 		return
 	}
-	node := s.pickNode()
+	node := s.pickNode(pod)
 	if node == "" {
 		// No nodes: retry later.
 		s.cli.Engine().After(500*time.Millisecond, func() { s.enqueue(key) })
@@ -138,7 +210,7 @@ func (s *Scheduler) bind(key string) {
 	}
 	pod.Spec.NodeName = node
 	pod.Status.Phase = PodScheduled
-	s.assumed[key] = node
+	s.assumed[key] = assumedBinding{node: node, job: jobKeyOf(pod)}
 	s.cli.Update(pod).Done(func(err error) {
 		if err == nil {
 			return
@@ -152,24 +224,76 @@ func (s *Scheduler) bind(key string) {
 	})
 }
 
-// pickNode returns the node with the fewest non-terminal pods, counting
-// both informer-confirmed pods and not-yet-confirmed assumed bindings.
-func (s *Scheduler) pickNode() string {
+// pickNode scores every node for the pod and returns the winner. The
+// scoring order is:
+//
+//  1. pressure — nodes below NodeCapacity beat nodes at or over it
+//     (ignored when every node is full, or NodeCapacity is 0);
+//  2. group affinity — nodes whose topology group already hosts more of
+//     the pod's job win (the co-location pass; all ties without a
+//     multi-group topology or a job label);
+//  3. load — fewest non-terminal pods, counting informer-confirmed pods
+//     and not-yet-confirmed assumed bindings;
+//  4. declaration order — the stable tiebreak.
+//
+// Everything reads incrementally maintained state, so a placement is
+// O(nodes) (+ O(assumed), which is bounded by the watch-delivery window).
+func (s *Scheduler) pickNode(pod *Pod) string {
 	if len(s.nodes) == 0 {
 		return ""
 	}
 	var assumedCounts map[string]int
 	if len(s.assumed) > 0 {
 		assumedCounts = make(map[string]int, len(s.assumed))
-		for _, n := range s.assumed {
-			assumedCounts[n]++
+		for _, a := range s.assumed {
+			assumedCounts[a.node]++
 		}
 	}
 	load := func(n string) int { return s.counts[n] + assumedCounts[n] }
-	best := s.nodes[0]
+
+	// Group affinity: the pod's job's pods per group, committed plus
+	// assumed. Only meaningful with a topology and a job identity.
+	var affinity map[int]int
+	if len(s.cfg.NodeGroups) > 0 {
+		if job := jobKeyOf(pod); job != "" {
+			affinity = make(map[int]int, len(s.jobGroup[job])+1)
+			for g, n := range s.jobGroup[job] {
+				affinity[g] = n
+			}
+			for _, a := range s.assumed {
+				if a.job == job {
+					affinity[s.groupOf(a.node)]++
+				}
+			}
+		}
+	}
+
+	type score struct {
+		underCap bool
+		affinity int
+		load     int
+	}
+	better := func(a, b score) bool {
+		if a.underCap != b.underCap {
+			return a.underCap
+		}
+		if a.affinity != b.affinity {
+			return a.affinity > b.affinity
+		}
+		return a.load < b.load
+	}
+	scoreOf := func(n string) score {
+		l := load(n)
+		return score{
+			underCap: s.cfg.NodeCapacity <= 0 || l < s.cfg.NodeCapacity,
+			affinity: affinity[s.groupOf(n)],
+			load:     l,
+		}
+	}
+	best, bestScore := s.nodes[0], scoreOf(s.nodes[0])
 	for _, n := range s.nodes[1:] {
-		if load(n) < load(best) {
-			best = n
+		if sc := scoreOf(n); better(sc, bestScore) {
+			best, bestScore = n, sc
 		}
 	}
 	return best

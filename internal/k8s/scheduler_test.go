@@ -1,0 +1,180 @@
+package k8s
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// topoClusterConfig builds a 2-group × groupSize fleet with topology-aware
+// scheduling: nodes 0..groupSize-1 in group 0, the rest in group 1.
+func topoClusterConfig(groupSize, capacity int) ClusterConfig {
+	cfg := quietConfig()
+	cfg.NodeNames = nil
+	cfg.Scheduler.NodeGroups = map[string]int{}
+	for i := 0; i < 2*groupSize; i++ {
+		name := fmt.Sprintf("node%d", i)
+		cfg.NodeNames = append(cfg.NodeNames, name)
+		cfg.Scheduler.NodeGroups[name] = i / groupSize
+	}
+	cfg.Scheduler.NodeCapacity = capacity
+	return cfg
+}
+
+// podNodes returns node names of the job's pods after scheduling settles.
+func podNodes(t *testing.T, c *Cluster, ns, job string) map[string]int {
+	t.Helper()
+	nodes := map[string]int{}
+	for _, obj := range c.Client.Lister(KindPod).List(ns) {
+		pod := obj.(*Pod)
+		if pod.Meta.Labels["job-name"] != job {
+			continue
+		}
+		if pod.Spec.NodeName == "" {
+			t.Fatalf("pod %s unscheduled", pod.Meta.Name)
+		}
+		nodes[pod.Spec.NodeName]++
+	}
+	return nodes
+}
+
+func groupsUsed(cfg ClusterConfig, nodes map[string]int) map[int]int {
+	out := map[int]int{}
+	for n, c := range nodes {
+		out[cfg.Scheduler.NodeGroups[n]] += c
+	}
+	return out
+}
+
+// TestSchedulerGroupCoLocationUnderLowLoad: an idle two-group fleet must
+// keep a multi-pod job inside one dragonfly group (spreading across its
+// nodes), not across groups.
+func TestSchedulerGroupCoLocationUnderLowLoad(t *testing.T) {
+	cfg := topoClusterConfig(4, 0)
+	c, _ := newTestCluster(t, cfg)
+	c.CreateNamespace("t")
+	job := EchoJob("t", "colo", nil)
+	job.Spec.Parallelism = 4
+	job.Spec.Template.RunDuration = time.Hour
+	job.Spec.DeleteAfterFinished = false
+	c.SubmitJob(job)
+	c.Eng.RunFor(5 * time.Second)
+
+	nodes := podNodes(t, c, "t", "colo")
+	if len(nodes) != 4 {
+		t.Fatalf("want 4 pods spread over 4 nodes, got %v", nodes)
+	}
+	if g := groupsUsed(cfg, nodes); len(g) != 1 {
+		t.Errorf("job spans %d groups under zero load, want 1: %v", len(g), g)
+	}
+}
+
+// TestSchedulerCrossGroupSpillUnderPressure: when the preferred group's
+// nodes hit NodeCapacity, the remainder of the job must spill to the
+// other group instead of stacking past the budget.
+func TestSchedulerCrossGroupSpillUnderPressure(t *testing.T) {
+	cfg := topoClusterConfig(2, 1) // 2 nodes per group, 1 pod per node
+	c, _ := newTestCluster(t, cfg)
+	c.CreateNamespace("t")
+	job := EchoJob("t", "spill", nil)
+	job.Spec.Parallelism = 4
+	job.Spec.Template.RunDuration = time.Hour
+	job.Spec.DeleteAfterFinished = false
+	c.SubmitJob(job)
+	c.Eng.RunFor(5 * time.Second)
+
+	nodes := podNodes(t, c, "t", "spill")
+	for n, count := range nodes {
+		if count > 1 {
+			t.Errorf("node %s stacked %d pods past capacity 1", n, count)
+		}
+	}
+	g := groupsUsed(cfg, nodes)
+	if g[0] != 2 || g[1] != 2 {
+		t.Errorf("want 2 pods per group after spill, got %v", g)
+	}
+}
+
+// TestSchedulerSecondJobAvoidsBusyGroup: co-location is per job — a
+// second job must not chase the first job's group when that group is
+// under pressure.
+func TestSchedulerSecondJobAvoidsBusyGroup(t *testing.T) {
+	cfg := topoClusterConfig(2, 1)
+	c, _ := newTestCluster(t, cfg)
+	c.CreateNamespace("t")
+	first := EchoJob("t", "first", nil)
+	first.Spec.Parallelism = 2
+	first.Spec.Template.RunDuration = time.Hour
+	first.Spec.DeleteAfterFinished = false
+	c.SubmitJob(first)
+	c.Eng.RunFor(3 * time.Second)
+
+	second := EchoJob("t", "second", nil)
+	second.Spec.Parallelism = 2
+	second.Spec.Template.RunDuration = time.Hour
+	second.Spec.DeleteAfterFinished = false
+	c.SubmitJob(second)
+	c.Eng.RunFor(3 * time.Second)
+
+	g1 := groupsUsed(cfg, podNodes(t, c, "t", "first"))
+	g2 := groupsUsed(cfg, podNodes(t, c, "t", "second"))
+	if len(g1) != 1 || len(g2) != 1 {
+		t.Fatalf("jobs not co-located: first=%v second=%v", g1, g2)
+	}
+	for g := range g1 {
+		if g2[g] > 0 {
+			t.Errorf("second job stacked into the first job's full group: first=%v second=%v", g1, g2)
+		}
+	}
+}
+
+// TestSchedulerFlatFleetUnchanged guards the seed behavior: without
+// NodeGroups the scheduler is a pure least-loaded spreader with
+// first-node tiebreak, regardless of the new scoring machinery.
+func TestSchedulerFlatFleetUnchanged(t *testing.T) {
+	cfg := quietConfig()
+	c, _ := newTestCluster(t, cfg)
+	c.CreateNamespace("t")
+	job := EchoJob("t", "flat", nil)
+	job.Spec.Parallelism = 4
+	job.Spec.Template.RunDuration = time.Hour
+	job.Spec.DeleteAfterFinished = false
+	c.SubmitJob(job)
+	c.Eng.RunFor(5 * time.Second)
+
+	nodes := podNodes(t, c, "t", "flat")
+	if nodes["node0"] != 2 || nodes["node1"] != 2 {
+		t.Errorf("flat spread broken: %v", nodes)
+	}
+}
+
+// BenchmarkSchedulerPlacement measures end-to-end placement throughput on
+// a 64-node, 8-group fleet: submit one pod per iteration and run the
+// cluster until it binds. Placement itself must stay O(nodes).
+func BenchmarkSchedulerPlacement(b *testing.B) {
+	cfg := quietConfig()
+	cfg.NodeNames = nil
+	cfg.Scheduler.NodeGroups = map[string]int{}
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("node%d", i)
+		cfg.NodeNames = append(cfg.NodeNames, name)
+		cfg.Scheduler.NodeGroups[name] = i / 8
+	}
+	cfg.Scheduler.NodeCapacity = 1024
+	eng := sim.NewEngine(1)
+	rt := &fakeRuntime{eng: eng, setupCost: time.Millisecond}
+	c := NewCluster(eng, cfg, func(string) Runtime { return rt })
+	eng.RunFor(time.Second)
+	c.CreateNamespace("bench")
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		job := EchoJob("bench", UniqueJobName("place"), nil)
+		job.Spec.Template.RunDuration = time.Hour
+		job.Spec.DeleteAfterFinished = false
+		c.SubmitJob(job)
+		eng.RunFor(100 * time.Millisecond)
+	}
+}

@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 )
@@ -107,6 +108,59 @@ func Summarize(xs []float64) Summary {
 		}
 	}
 	return s
+}
+
+// LinkUtil is one directional fabric trunk's utilization and loss record,
+// exported by the topology layer (internal/fabric) and reported by
+// shsbench and the harness as a hot-link table.
+type LinkUtil struct {
+	// Name identifies the link, conventionally "from->to".
+	Name string
+	// Kind distinguishes intra-group from global trunks.
+	Kind string
+	// Bytes and Forwarded count the payload volume and packets carried.
+	Bytes     uint64
+	Forwarded uint64
+	// Drops counts packets lost to link failure.
+	Drops uint64
+	// Utilization is the busy fraction (0..1) over the observed window.
+	Utilization float64
+	// Down reports the link's administrative state at snapshot time.
+	Down bool
+}
+
+// TopLinks returns the n busiest links, ordered by utilization, then
+// bytes, then name (so equal links report deterministically). The input
+// is not modified.
+func TopLinks(links []LinkUtil, n int) []LinkUtil {
+	out := append([]LinkUtil(nil), links...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Utilization != out[j].Utilization {
+			return out[i].Utilization > out[j].Utilization
+		}
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].Name < out[j].Name
+	})
+	if n > 0 && n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// RenderHotLinks writes the hot-link table shsbench prints: the n busiest
+// trunks with their volume, drops and busy fraction.
+func RenderHotLinks(w io.Writer, links []LinkUtil, n int) {
+	fmt.Fprintf(w, "%-24s %-7s %12s %10s %7s %7s\n", "link", "kind", "bytes", "packets", "drops", "util%")
+	for _, l := range TopLinks(links, n) {
+		state := ""
+		if l.Down {
+			state = " DOWN"
+		}
+		fmt.Fprintf(w, "%-24s %-7s %12d %10d %7d %6.2f%s\n",
+			l.Name, l.Kind, l.Bytes, l.Forwarded, l.Drops, l.Utilization*100, state)
+	}
 }
 
 // OverheadPct returns (a-b)/b in percent; 0 when b is 0.

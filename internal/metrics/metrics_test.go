@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -101,6 +102,45 @@ func TestFormatBytes(t *testing.T) {
 }
 
 // Property: percentiles are monotone in p and bounded by min/max.
+func TestTopLinks(t *testing.T) {
+	links := []LinkUtil{
+		{Name: "b->c", Kind: "intra", Utilization: 0.2, Bytes: 100},
+		{Name: "a->b", Kind: "global", Utilization: 0.9, Bytes: 500},
+		{Name: "c->d", Kind: "global", Utilization: 0.2, Bytes: 300},
+		{Name: "d->e", Kind: "intra", Utilization: 0.2, Bytes: 100},
+	}
+	top := TopLinks(links, 3)
+	if len(top) != 3 {
+		t.Fatalf("want 3 links, got %d", len(top))
+	}
+	if top[0].Name != "a->b" {
+		t.Errorf("hottest link = %s, want a->b", top[0].Name)
+	}
+	// Utilization tie broken by bytes, then name.
+	if top[1].Name != "c->d" || top[2].Name != "b->c" {
+		t.Errorf("tie order = %s, %s; want c->d, b->c", top[1].Name, top[2].Name)
+	}
+	if links[0].Name != "b->c" {
+		t.Error("TopLinks mutated its input")
+	}
+	if got := TopLinks(links, 0); len(got) != 4 {
+		t.Errorf("n=0 should return all links, got %d", len(got))
+	}
+}
+
+func TestRenderHotLinks(t *testing.T) {
+	var buf strings.Builder
+	RenderHotLinks(&buf, []LinkUtil{
+		{Name: "a->b", Kind: "global", Bytes: 10, Forwarded: 1, Drops: 2, Utilization: 0.5, Down: true},
+	}, 5)
+	out := buf.String()
+	for _, want := range []string{"a->b", "global", "50.00", "DOWN"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestQuickPercentileMonotone(t *testing.T) {
 	f := func(raw []float64, a, b uint8) bool {
 		if len(raw) == 0 {

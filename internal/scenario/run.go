@@ -186,6 +186,10 @@ func (r *runner) exec(ev *Event) error {
 		r.st.HealPartition()
 		r.logf("fabric partition healed")
 		return nil
+	case "fail_link":
+		return r.setLink(ev, true)
+	case "recover_link":
+		return r.setLink(ev, false)
 	case "probe_isolation":
 		return r.probeIsolation()
 	case "pingpong":
@@ -206,12 +210,48 @@ func (r *runner) exec(ev *Event) error {
 	}
 }
 
+// setLink executes fail_link/recover_link: a global-link pair addressed by
+// groups (+ optional link index) or an intra-group trunk addressed by
+// switch indices. Validation guaranteed the parameters are well formed.
+func (r *runner) setLink(ev *Event, down bool) error {
+	verb := "recovering"
+	if down {
+		verb = "failing"
+	}
+	if g := ev.Params["groups"]; g != "" {
+		parts := splitList(g)
+		a, _ := strconv.Atoi(parts[0])
+		b, _ := strconv.Atoi(parts[1])
+		idx := -1
+		which := "all global links"
+		if l := ev.Params["link"]; l != "" {
+			idx, _ = strconv.Atoi(l)
+			which = fmt.Sprintf("global link %d", idx)
+		}
+		r.logf("%s %s between group %d and group %d", verb, which, a, b)
+		if down {
+			return r.st.FailGlobalLinks(a, b, idx)
+		}
+		return r.st.RecoverGlobalLinks(a, b, idx)
+	}
+	parts := splitList(ev.Params["switches"])
+	i, _ := strconv.Atoi(parts[0])
+	j, _ := strconv.Atoi(parts[1])
+	r.logf("%s trunk between switch %d and switch %d", verb, i, j)
+	if down {
+		return r.st.FailTrunk(i, j)
+	}
+	return r.st.RecoverTrunk(i, j)
+}
+
 func (r *runner) startFleet() error {
 	fl := r.sc.Fleet
 	opts := stack.DefaultOptions()
 	opts.Seed = r.sc.Seed
 	opts.Nodes = fl.Nodes
 	opts.VNIService = fl.VNIService
+	opts.Topology = r.sc.Topology
+	opts.Cluster.Scheduler.NodeCapacity = fl.PodsPerNode
 	opts.DB = vnidb.Options{MinVNI: fl.VNIPoolMin, MaxVNI: fl.VNIPoolMax, Quarantine: fl.Quarantine}
 	r.st = stack.New(opts)
 	r.start = r.st.Eng.Now()
@@ -237,6 +277,10 @@ func (r *runner) startFleet() error {
 	})
 	r.logf("fleet up: %d nodes, %d tenants, vni pool %d-%d, vni service=%v",
 		fl.Nodes, len(fl.Tenants), fl.VNIPoolMin, fl.VNIPoolMax, fl.VNIService)
+	if spec := r.st.Topo.Spec(); spec.Groups > 1 || spec.SwitchesPerGroup > 1 {
+		r.logf("topology: %d group(s) x %d switch(es), %d global link(s) per pair",
+			spec.Groups, spec.SwitchesPerGroup, spec.GlobalLinksPerPair)
+	}
 	return nil
 }
 
@@ -375,7 +419,7 @@ func (r *runner) probeIsolation() error {
 		r.st.Eng.After(0, func() { link.Send(pkt) })
 	}
 	dropped := 0
-	r.st.Switch.OnDrop(func(pkt *fabric.Packet, reason fabric.DropReason) {
+	r.st.Topo.OnDrop(func(pkt *fabric.Packet, reason fabric.DropReason) {
 		k := probe{src: pkt.Src, vni: pkt.VNI}
 		if outstanding[k] > 0 {
 			outstanding[k]--
@@ -383,7 +427,7 @@ func (r *runner) probeIsolation() error {
 		}
 	})
 	r.st.Eng.RunFor(100 * time.Millisecond)
-	r.st.Switch.OnDrop(nil)
+	r.st.Topo.OnDrop(nil)
 	r.violations += sent - dropped
 
 	// Layer 2: cross-tenant endpoint allocation against driver auth.
@@ -618,9 +662,21 @@ func (r *runner) actual(a Assertion) float64 {
 		return float64(r.violations)
 	case "switch_drops":
 		reason, _ := fabric.DropReasonByName(a.Target)
-		return float64(r.st.Switch.Stats().Drops[reason])
+		return float64(r.st.Topo.Stats().Drops[reason])
 	case "switch_forwarded":
-		return float64(r.st.Switch.Stats().Forwarded)
+		return float64(r.st.Topo.Stats().Forwarded)
+	case "trunk_drops":
+		return float64(r.st.Topo.TrunkDrops())
+	case "global_link_bytes":
+		return float64(r.st.Topo.GlobalLinkBytes())
+	case "max_link_utilization":
+		max := 0.0
+		for _, l := range r.st.Topo.Links() {
+			if l.Utilization > max {
+				max = l.Utilization
+			}
+		}
+		return max
 	case "latency_us":
 		s := metrics.Summarize(r.latUs)
 		switch a.Target {

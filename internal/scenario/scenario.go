@@ -39,6 +39,11 @@ type Fleet struct {
 	VNIPoolMin, VNIPoolMax fabric.VNI
 	// Quarantine is the VNI release quarantine (default 30s, the paper's).
 	Quarantine sim.Duration
+	// PodsPerNode is the scheduler's soft per-node pod budget: placement
+	// avoids nodes at the budget while any node below it exists, which is
+	// what pushes a job's pods across dragonfly groups under pressure.
+	// 0 (default) disables the check.
+	PodsPerNode int
 	// Tenants are the namespaces workloads run in.
 	Tenants []Tenant
 }
@@ -92,8 +97,12 @@ type Scenario struct {
 	Name        string
 	Description string
 	// Seed feeds the deterministic simulation engine (default 1).
-	Seed       int64
-	Fleet      Fleet
+	Seed  int64
+	Fleet Fleet
+	// Topology shapes the fabric (dragonfly groups, switches per group,
+	// NIC striping, global-link overrides); the zero value is the
+	// paper's single-switch fabric.
+	Topology   fabric.TopologySpec
 	Events     []Event
 	Assertions []Assertion
 	// Path is the source file, "" when parsed from a reader.
@@ -173,6 +182,10 @@ func (sc *Scenario) decode(root *value) error {
 			if err := sc.decodeFleet(v); err != nil {
 				return err
 			}
+		case "topology":
+			if err := sc.decodeTopology(v); err != nil {
+				return err
+			}
 		case "events":
 			if err := sc.decodeEvents(v); err != nil {
 				return err
@@ -223,6 +236,12 @@ func (sc *Scenario) decodeFleet(v *value) error {
 				return sc.errAt(c.line, "fleet.quarantine: not a duration: %q", c.scalar)
 			}
 			sc.Fleet.Quarantine = d
+		case "podsPerNode":
+			n, err := strconv.Atoi(c.scalar)
+			if err != nil || n < 0 {
+				return sc.errAt(c.line, "fleet.podsPerNode: must be a non-negative integer, got %q", c.scalar)
+			}
+			sc.Fleet.PodsPerNode = n
 		case "tenants":
 			if c.kind != seqNode {
 				return sc.errAt(c.line, "fleet.tenants: must be a sequence")
@@ -248,6 +267,48 @@ func (sc *Scenario) decodeFleet(v *value) error {
 			}
 		default:
 			return sc.errAt(c.line, "fleet: unknown key %q", key)
+		}
+	}
+	return nil
+}
+
+// decodeTopology maps the topology: section onto fabric.TopologySpec.
+func (sc *Scenario) decodeTopology(v *value) error {
+	if v.kind != mapNode {
+		return sc.errAt(v.line, "topology: must be a mapping")
+	}
+	for _, key := range v.keys {
+		c := v.child[key]
+		switch key {
+		case "groups", "switchesPerGroup", "nodesPerSwitch", "globalLinksPerPair":
+			n, err := strconv.Atoi(c.scalar)
+			if err != nil || n < 1 {
+				return sc.errAt(c.line, "topology.%s: must be a positive integer, got %q", key, c.scalar)
+			}
+			switch key {
+			case "groups":
+				sc.Topology.Groups = n
+			case "switchesPerGroup":
+				sc.Topology.SwitchesPerGroup = n
+			case "nodesPerSwitch":
+				sc.Topology.NodesPerSwitch = n
+			case "globalLinksPerPair":
+				sc.Topology.GlobalLinksPerPair = n
+			}
+		case "globalBandwidthGbps":
+			f, err := strconv.ParseFloat(c.scalar, 64)
+			if err != nil || f <= 0 {
+				return sc.errAt(c.line, "topology.globalBandwidthGbps: must be a positive number, got %q", c.scalar)
+			}
+			sc.Topology.GlobalLinkBandwidthBits = f * 1e9
+		case "globalLatency":
+			d, err := time.ParseDuration(c.scalar)
+			if err != nil || d < 0 {
+				return sc.errAt(c.line, "topology.globalLatency: not a duration: %q", c.scalar)
+			}
+			sc.Topology.GlobalLinkPropagation = d
+		default:
+			return sc.errAt(c.line, "topology: unknown key %q", key)
 		}
 	}
 	return nil
@@ -342,6 +403,8 @@ var actions = map[string]actionSpec{
 	"recover_nic":        {needsTarget: "node"},
 	"partition_fabric":   {required: []string{"nodes"}},
 	"heal_partition":     {},
+	"fail_link":          {optional: []string{"groups", "switches", "link"}},
+	"recover_link":       {optional: []string{"groups", "switches", "link"}},
 	"probe_isolation":    {},
 	"pingpong":           {required: []string{"tenant", "job"}, optional: []string{"rounds", "bytes", "timeout", "tolerate_stall"}},
 	"wait_running":       {required: []string{"tenant", "pods"}, optional: []string{"job", "timeout"}},
@@ -361,6 +424,9 @@ var assertionTargets = map[string]string{
 	"isolation_violations": "",
 	"switch_drops":         "reason",
 	"switch_forwarded":     "",
+	"trunk_drops":          "",
+	"global_link_bytes":    "",
+	"max_link_utilization": "",
 	"latency_us":           "stat",
 	"sync_errors":          "",
 	"distinct_tenant_vnis": "",
@@ -388,6 +454,11 @@ func (sc *Scenario) Validate() error {
 	if fl.VNIPoolMax < fl.VNIPoolMin {
 		return sc.errAt(1, "fleet: vniPoolMax %d below vniPoolMin %d", fl.VNIPoolMax, fl.VNIPoolMin)
 	}
+	topo, err := sc.Topology.Normalize()
+	if err != nil {
+		return sc.errAt(1, "topology: %v", err)
+	}
+	sc.Topology = topo
 	tenants := map[string]bool{}
 	for _, t := range fl.Tenants {
 		if tenants[t.Name] {
@@ -481,6 +552,66 @@ func (sc *Scenario) validateEvent(ev *Event, tenants map[string]bool) error {
 				return sc.errAt(ev.Line, "partition_fabric: unknown node %q", n)
 			}
 		}
+	}
+	if ev.Action == "fail_link" || ev.Action == "recover_link" {
+		if err := sc.validateLinkEvent(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateLinkEvent checks a fail_link/recover_link event: exactly one of
+// groups ("a,b" group pair) or switches ("i,j" switch pair) must name a
+// trunk that exists in the scenario's topology; link selects one of a
+// pair's parallel global links and is only valid with groups.
+func (sc *Scenario) validateLinkEvent(ev *Event) error {
+	groups, switches := ev.Params["groups"], ev.Params["switches"]
+	if (groups == "") == (switches == "") {
+		return sc.errAt(ev.Line, "%s: needs exactly one of groups or switches", ev.Action)
+	}
+	pair := func(param, s string, limit int, what string) (int, int, error) {
+		parts := splitList(s)
+		if len(parts) != 2 {
+			return 0, 0, sc.errAt(ev.Line, "%s: %s must be two comma-separated indices, got %q", ev.Action, param, s)
+		}
+		var idx [2]int
+		for i, p := range parts {
+			n, err := strconv.Atoi(p)
+			if err != nil || n < 0 || n >= limit {
+				return 0, 0, sc.errAt(ev.Line, "%s: %s: %q is not a valid %s index (fabric has %d)",
+					ev.Action, param, p, what, limit)
+			}
+			idx[i] = n
+		}
+		if idx[0] == idx[1] {
+			return 0, 0, sc.errAt(ev.Line, "%s: %s: indices must differ", ev.Action, param)
+		}
+		return idx[0], idx[1], nil
+	}
+	topo := sc.Topology
+	if groups != "" {
+		if _, _, err := pair("groups", groups, topo.Groups, "group"); err != nil {
+			return err
+		}
+		if l := ev.Params["link"]; l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n < 0 || n >= topo.GlobalLinksPerPair {
+				return sc.errAt(ev.Line, "%s: link: must be 0..%d, got %q", ev.Action, topo.GlobalLinksPerPair-1, l)
+			}
+		}
+		return nil
+	}
+	if ev.Params["link"] != "" {
+		return sc.errAt(ev.Line, "%s: link is only valid with groups", ev.Action)
+	}
+	i, j, err := pair("switches", switches, topo.Groups*topo.SwitchesPerGroup, "switch")
+	if err != nil {
+		return err
+	}
+	if i/topo.SwitchesPerGroup != j/topo.SwitchesPerGroup {
+		return sc.errAt(ev.Line, "%s: switches %d and %d are in different groups; use groups for global links",
+			ev.Action, i, j)
 	}
 	return nil
 }

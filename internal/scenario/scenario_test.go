@@ -164,6 +164,166 @@ assertions:
     value: 0
 `
 
+func TestParseTopologySection(t *testing.T) {
+	sc := mustParse(t, `
+name: topo
+topology:
+  groups: 2
+  switchesPerGroup: 2
+  nodesPerSwitch: 1
+  globalLinksPerPair: 2
+  globalBandwidthGbps: 25
+  globalLatency: 500ns
+fleet:
+  nodes: 4
+  podsPerNode: 1
+  tenants:
+    - name: a
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 1s
+    action: fail_link
+    groups: 0,1
+    link: 1
+  - at: 2s
+    action: fail_link
+    switches: 0,1
+  - at: 3s
+    action: recover_link
+    groups: 0,1
+`)
+	topo := sc.Topology
+	if topo.Groups != 2 || topo.SwitchesPerGroup != 2 || topo.NodesPerSwitch != 1 || topo.GlobalLinksPerPair != 2 {
+		t.Errorf("topology mis-parsed: %+v", topo)
+	}
+	if topo.GlobalLinkBandwidthBits != 25e9 {
+		t.Errorf("global bandwidth = %v, want 25e9", topo.GlobalLinkBandwidthBits)
+	}
+	if topo.GlobalLinkPropagation != 500 {
+		t.Errorf("global latency = %v, want 500ns", topo.GlobalLinkPropagation)
+	}
+	if sc.Fleet.PodsPerNode != 1 {
+		t.Errorf("podsPerNode = %d, want 1", sc.Fleet.PodsPerNode)
+	}
+}
+
+func TestValidateLinkEvents(t *testing.T) {
+	base := `
+name: topo
+topology:
+  groups: 2
+  switchesPerGroup: 2
+fleet:
+  nodes: 2
+  tenants:
+    - name: a
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 1s
+    action: fail_link
+`
+	for _, tc := range []struct {
+		params string
+		errSub string
+	}{
+		{"    groups: 0,1\n", ""},
+		{"    switches: 0,1\n", ""},
+		{"", "exactly one of groups or switches"},
+		{"    groups: 0,1\n    switches: 0,1\n", "exactly one of groups or switches"},
+		{"    groups: 0,5\n", "not a valid group index"},
+		{"    groups: 0,0\n", "indices must differ"},
+		{"    groups: 0,1\n    link: 3\n", "link: must be 0..0"},
+		{"    switches: 0,2\n", "different groups"},
+		{"    switches: 0,9\n", "not a valid switch index"},
+		{"    switches: 0,1\n    link: 0\n", "only valid with groups"},
+	} {
+		_, err := Parse(strings.NewReader(base + tc.params))
+		if tc.errSub == "" {
+			if err != nil {
+				t.Errorf("params %q rejected: %v", tc.params, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+			t.Errorf("params %q: error %v, want substring %q", tc.params, err, tc.errSub)
+		}
+	}
+}
+
+func TestValidateTopologyRejectsOversubscribedGlobals(t *testing.T) {
+	_, err := Parse(strings.NewReader(`
+name: topo
+topology:
+  groups: 2
+  switchesPerGroup: 1
+  globalLinksPerPair: 2
+fleet:
+  nodes: 2
+events:
+  - at: 0s
+    action: start_fleet
+`))
+	if err == nil || !strings.Contains(err.Error(), "globalLinksPerPair") {
+		t.Errorf("over-subscribed topology accepted: %v", err)
+	}
+}
+
+func TestRunMultiGroupScenario(t *testing.T) {
+	// A cross-switch fleet end-to-end: 2 groups × 1 switch × 1 node per
+	// switch, with a one-pod-per-node budget so the job's second rank
+	// spills to the other group and the pingpong crosses the global link.
+	sc := mustParse(t, `
+name: multigroup
+topology:
+  groups: 2
+  switchesPerGroup: 1
+  nodesPerSwitch: 1
+fleet:
+  nodes: 2
+  podsPerNode: 1
+  tenants:
+    - name: a
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 0s
+    action: submit_job
+    tenant: a
+    name: j
+    pods: 2
+    runtime: 1h
+    vni: "true"
+  - at: 0s
+    action: wait_running
+    tenant: a
+    pods: 2
+  - at: 1s
+    action: pingpong
+    tenant: a
+    job: j
+    rounds: 50
+assertions:
+  - type: global_link_bytes
+    op: ">="
+    value: 1
+  - type: trunk_drops
+    value: 0
+  - type: isolation_violations
+    value: 0
+`)
+	res := Run(sc)
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	for _, a := range res.Asserts {
+		if !a.Pass {
+			t.Errorf("assertion failed: %s", a)
+		}
+	}
+}
+
 func TestRunSmokeScenario(t *testing.T) {
 	res := Run(mustParse(t, smokeScenario))
 	if res.Err != nil {

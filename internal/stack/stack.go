@@ -28,12 +28,16 @@ type Options struct {
 	// accessible default VNI.
 	VNIService bool
 	Fabric     fabric.Config
-	Device     cxi.DeviceConfig
-	Cluster    k8s.ClusterConfig
-	CNI        cni.CXIPluginConfig
-	Container  container.Config
-	VNI        vnisvc.Config
-	DB         vnidb.Options
+	// Topology shapes the fabric: dragonfly groups, switches per group
+	// and NIC striping. The default (1 group × 1 switch) reproduces the
+	// paper's single-switch pilot byte for byte.
+	Topology  fabric.TopologySpec
+	Device    cxi.DeviceConfig
+	Cluster   k8s.ClusterConfig
+	CNI       cni.CXIPluginConfig
+	Container container.Config
+	VNI       vnisvc.Config
+	DB        vnidb.Options
 }
 
 // DefaultOptions mirrors the paper's two-node OpenCUBE deployment.
@@ -44,6 +48,7 @@ func DefaultOptions() Options {
 		Nodes:      2,
 		VNIService: true,
 		Fabric:     fabric.DefaultConfig(),
+		Topology:   fabric.DefaultTopologySpec(),
 		Device:     cxi.DefaultDeviceConfig(),
 		Cluster:    cl,
 		CNI:        cni.DefaultCXIPluginConfig(),
@@ -60,13 +65,21 @@ type Node struct {
 	Runtime *container.Runtime
 	CXICNI  *cni.CXIPlugin
 	Overlay *cni.OverlayPlugin
+	// SwitchIndex is the edge switch the node's NIC attaches to; Group
+	// is that switch's dragonfly group.
+	SwitchIndex int
+	Group       int
 }
 
 // Stack is a fully assembled deployment.
 type Stack struct {
-	Opts    Options
-	Eng     *sim.Engine
-	Kernel  *nsmodel.Kernel
+	Opts   Options
+	Eng    *sim.Engine
+	Kernel *nsmodel.Kernel
+	// Topo is the fabric topology every NIC is attached to.
+	Topo *fabric.Topology
+	// Switch is the first edge switch, kept for single-switch callers
+	// (every node lives on it under the default topology).
 	Switch  *fabric.Switch
 	Cluster *k8s.Cluster
 	Nodes   []*Node
@@ -84,13 +97,13 @@ func New(opts Options) *Stack {
 	}
 	eng := sim.NewEngine(opts.Seed)
 	kern := nsmodel.NewKernel()
-	sw := fabric.NewSwitch("rosetta0", eng, opts.Fabric)
+	topo := fabric.NewTopology(eng, opts.Fabric, opts.Topology)
 	root, err := kern.Spawn("cni-root", 0, 0, 0, 0)
 	if err != nil {
 		panic(err) // fresh kernel: cannot fail
 	}
 
-	s := &Stack{Opts: opts, Eng: eng, Kernel: kern, Switch: sw, CNIRoot: root.PID}
+	s := &Stack{Opts: opts, Eng: eng, Kernel: kern, Topo: topo, Switch: topo.Switches()[0], CNIRoot: root.PID}
 	s.DB = vnidb.Open(opts.DB)
 
 	names := make([]string, opts.Nodes)
@@ -98,16 +111,32 @@ func New(opts Options) *Stack {
 		names[i] = fmt.Sprintf("node%d", i)
 	}
 	opts.Cluster.NodeNames = names
+	// Topology-aware placement: hand the scheduler the node→group map so
+	// it can co-locate a job's pods within a dragonfly group. A single
+	// group carries no information, so the map stays nil and scoring
+	// reduces to the plain least-loaded spread.
+	if topo.Spec().Groups > 1 {
+		groups := make(map[string]int, len(names))
+		for i, name := range names {
+			groups[name] = topo.GroupOf(topo.SwitchForNode(i))
+		}
+		opts.Cluster.Scheduler.NodeGroups = groups
+	}
 
-	// Per-node data plane. The CXI CNI plugin needs the API server, which
+	// Per-node data plane: each NIC attaches to its edge switch under the
+	// topology's striping. The CXI CNI plugin needs the API server, which
 	// is created with the cluster, which in turn needs each node's
 	// runtime — a construction cycle broken by lazyRuntime, a dispatcher
 	// resolved on first use (no pod can reach a kubelet before New
 	// returns, so the indirection is safe).
 	for i, name := range names {
-		dev := cxi.NewDevice(fmt.Sprintf("cxi%d", i), eng, kern, sw, opts.Device)
+		swIdx := topo.SwitchForNode(i)
+		dev := cxi.NewDevice(fmt.Sprintf("cxi%d", i), eng, kern, topo.Switches()[swIdx], opts.Device)
 		over := cni.NewOverlayPlugin(eng, name, fmt.Sprintf("10.42.%d", i))
-		s.Nodes = append(s.Nodes, &Node{Name: name, Device: dev, Overlay: over})
+		s.Nodes = append(s.Nodes, &Node{
+			Name: name, Device: dev, Overlay: over,
+			SwitchIndex: swIdx, Group: topo.GroupOf(swIdx),
+		})
 	}
 
 	cluster := k8s.NewCluster(eng, opts.Cluster, func(nodeName string) k8s.Runtime {
@@ -161,7 +190,7 @@ func (s *Stack) FailNIC(node string) error {
 	if !ok {
 		return fmt.Errorf("stack: fail nic: unknown node %q", node)
 	}
-	return s.Switch.SetPortDown(n.Device.Addr(), true)
+	return s.Topo.SetPortDown(n.Device.Addr(), true)
 }
 
 // RecoverNIC brings a failed NIC back. VNI grants were retained, so traffic
@@ -171,7 +200,27 @@ func (s *Stack) RecoverNIC(node string) error {
 	if !ok {
 		return fmt.Errorf("stack: recover nic: unknown node %q", node)
 	}
-	return s.Switch.SetPortDown(n.Device.Addr(), false)
+	return s.Topo.SetPortDown(n.Device.Addr(), false)
+}
+
+// FailTrunk downs both directions of the trunk between two edge switches;
+// traffic needing that link reroutes over surviving minimal paths or is
+// dropped with fabric.DropLinkDown.
+func (s *Stack) FailTrunk(i, j int) error { return s.Topo.SetTrunkDown(i, j, true) }
+
+// RecoverTrunk restores a failed trunk.
+func (s *Stack) RecoverTrunk(i, j int) error { return s.Topo.SetTrunkDown(i, j, false) }
+
+// FailGlobalLinks downs global links between two dragonfly groups: the
+// idx-th link in routing-preference order, or all of them when idx < 0.
+func (s *Stack) FailGlobalLinks(a, b, idx int) error {
+	return s.Topo.SetGlobalLinkDown(a, b, idx, true)
+}
+
+// RecoverGlobalLinks restores global links between two groups (idx as in
+// FailGlobalLinks).
+func (s *Stack) RecoverGlobalLinks(a, b, idx int) error {
+	return s.Topo.SetGlobalLinkDown(a, b, idx, false)
 }
 
 // PartitionFabric splits the fabric in two: the named nodes form one
@@ -187,12 +236,12 @@ func (s *Stack) PartitionFabric(nodes []string) error {
 		}
 		groups[n.Device.Addr()] = 1
 	}
-	s.Switch.SetPartition(groups)
+	s.Topo.SetPartition(groups)
 	return nil
 }
 
 // HealPartition removes any fabric partition.
-func (s *Stack) HealPartition() { s.Switch.SetPartition(nil) }
+func (s *Stack) HealPartition() { s.Topo.SetPartition(nil) }
 
 // NodeByName returns the node bundle.
 func (s *Stack) NodeByName(name string) (*Node, bool) {
