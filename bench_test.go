@@ -26,6 +26,7 @@ import (
 	"github.com/caps-sim/shs-k8s/internal/sim"
 	"github.com/caps-sim/shs-k8s/internal/stack"
 	"github.com/caps-sim/shs-k8s/internal/vnidb"
+	"github.com/caps-sim/shs-k8s/internal/workload"
 )
 
 // TestScenarioQuickstartSmoke runs the bundled quickstart scenario (the
@@ -554,4 +555,38 @@ func BenchmarkControlPlane_ListVsLister(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCollectives runs a compact cut of the placement-sensitivity
+// sweep (every pattern at 64 KiB across flat/colocated/spilled) and
+// reports the worst spill-vs-colocated slowdown as the headline metric —
+// the number the topology-aware scheduler is buying back. The full grid
+// is `shsbench -exp collectives`; EXPERIMENTS.md records it.
+func BenchmarkCollectives(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := harness.DefaultCollectivesConfig()
+		cfg.Sizes = []int{64 << 10}
+		cfg.Iterations = 3
+		rows, err := harness.RunCollectivesSweep(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		printFigure("Extension: Collectives vs Placement (64 KiB)", func() {
+			harness.RenderCollectives(os.Stdout, rows)
+		})
+		byKey := map[string]workload.Report{}
+		for _, r := range rows {
+			byKey[string(r.Placement)+"/"+string(r.Pattern)] = r.Report
+		}
+		worst := 0.0
+		for _, p := range workload.Patterns() {
+			colo, spill := byKey["colocated/"+string(p)], byKey["spilled/"+string(p)]
+			if colo.Elapsed > 0 {
+				if ratio := float64(spill.Elapsed) / float64(colo.Elapsed); ratio > worst {
+					worst = ratio
+				}
+			}
+		}
+		b.ReportMetric(worst, "worst_spill_x")
+	}
 }

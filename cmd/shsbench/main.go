@@ -10,7 +10,7 @@
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 // comm (fig5-8), admission (fig9-12), fabric (multi-group hot-link
-// report), all.
+// report), collectives (pattern × size × placement sweep), all.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig5..fig12, comm, admission, fabric, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig5..fig12, comm, admission, fabric, collectives, all)")
 	runs := flag.Int("runs", 0, "repetitions per mode (0 = paper defaults: 10 comm / 5 admission)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	flag.Parse()
@@ -135,6 +135,20 @@ func run(exp string, runs int, seed int64) error {
 		}
 		header("Extension: Overlay vs Slingshot RDMA")
 		harness.RenderOverlayComparison(os.Stdout, rows)
+	}
+	if selected("collectives") {
+		// Extension experiment: the placement-sensitivity grid — every
+		// collective pattern × message size × placement (flat, group-
+		// colocated, group-spilled), the job-scale communication view of
+		// the dragonfly topology.
+		cfg := harness.DefaultCollectivesConfig()
+		cfg.Seed = seed
+		rows, err := harness.RunCollectivesSweep(cfg)
+		if err != nil {
+			return err
+		}
+		header("Extension: Collectives vs Placement (8 ranks, 4-group dragonfly)")
+		harness.RenderCollectives(os.Stdout, rows)
 	}
 	if selected("fabric") {
 		// Extension experiment: multi-group dragonfly hot-link report —

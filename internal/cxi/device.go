@@ -420,9 +420,10 @@ func (d *Device) ReceivePacket(p *fabric.Packet) {
 
 	if complete {
 		src := p.Src
+		srcEP := p.SrcIdx
 		tc := p.TC
 		d.eng.After(d.eng.Jitter(d.cfg.RecvOverhead, 0.02), func() {
-			ep.deliver(Message{Src: src, Size: size, VNI: p.VNI, TC: tc})
+			ep.deliver(Message{Src: src, SrcEP: srcEP, Size: size, VNI: p.VNI, TC: tc})
 		})
 	}
 }

@@ -10,10 +10,14 @@ import (
 
 // Message is a fully reassembled RDMA message delivered to an endpoint.
 type Message struct {
-	Src  fabric.Addr
-	Size int
-	VNI  fabric.VNI
-	TC   fabric.TrafficClass
+	Src fabric.Addr
+	// SrcEP is the sending endpoint's index on Src, from the frame header's
+	// initiator PID index; together (Src, SrcEP) name the sending endpoint
+	// even when several endpoints share one NIC.
+	SrcEP int
+	Size  int
+	VNI   fabric.VNI
+	TC    fabric.TrafficClass
 }
 
 // Endpoint is an allocated RDMA endpoint: a handle to NIC queues bound to
@@ -132,7 +136,7 @@ func (ep *Endpoint) Send(dst fabric.Addr, dstIdx int, size int, onComplete func(
 		if cfg.CoalesceFrames || frames == 1 {
 			last := d.link.Send(&fabric.Packet{
 				Src: d.addr, Dst: dst, VNI: ep.vni, TC: ep.tc,
-				PayloadBytes: size, Frames: frames, DstIdx: dstIdx,
+				PayloadBytes: size, Frames: frames, DstIdx: dstIdx, SrcIdx: ep.idx,
 				MsgID: msgID, Last: true,
 			})
 			if onComplete != nil {
@@ -153,7 +157,7 @@ func (ep *Endpoint) Send(dst fabric.Addr, dstIdx int, size int, onComplete func(
 			}
 			last = d.link.Send(&fabric.Packet{
 				Src: d.addr, Dst: dst, VNI: ep.vni, TC: ep.tc,
-				PayloadBytes: chunk, Frames: 1, DstIdx: dstIdx,
+				PayloadBytes: chunk, Frames: 1, DstIdx: dstIdx, SrcIdx: ep.idx,
 				MsgID: msgID, Offset: off, Last: f == frames-1,
 			})
 			off += chunk

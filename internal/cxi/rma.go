@@ -126,7 +126,7 @@ func (ep *Endpoint) sendRMA(dst fabric.Addr, dstIdx int, wireBytes int, op rmaOp
 	d.eng.At(start, func() {
 		d.link.Send(&fabric.Packet{
 			Src: d.addr, Dst: dst, VNI: ep.vni, TC: ep.tc,
-			PayloadBytes: wireBytes, Frames: frames, DstIdx: dstIdx,
+			PayloadBytes: wireBytes, Frames: frames, DstIdx: dstIdx, SrcIdx: ep.idx,
 			MsgID: msgID, Last: true,
 			RMA: &fabric.RMAHeader{
 				Write: opCopy.write, Key: uint64(opCopy.key),
@@ -191,7 +191,7 @@ func (d *Device) handleRMALocked(p *fabric.Packet, ep *Endpoint) func() {
 		d.eng.After(d.eng.Jitter(d.cfg.RecvOverhead, 0.02), func() {
 			d.link.Send(&fabric.Packet{
 				Src: d.addr, Dst: src, VNI: vni, TC: tc,
-				PayloadBytes: size, Frames: frames, DstIdx: replyEP,
+				PayloadBytes: size, Frames: frames, DstIdx: replyEP, SrcIdx: ep.idx,
 				MsgID: reqID, Last: true,
 				RMA: &fabric.RMAHeader{Ack: true, ReqID: reqID},
 			})

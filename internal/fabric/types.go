@@ -73,6 +73,11 @@ type Packet struct {
 	// DstIdx addresses an endpoint (portal index) within the destination
 	// NIC, analogous to the Cassini PID index.
 	DstIdx int
+	// SrcIdx is the sending endpoint's index within the source NIC. Real
+	// Slingshot frames carry the initiator's PID index in the same way;
+	// receivers use it to tell apart senders sharing one NIC (e.g. two MPI
+	// ranks whose pods landed on the same node).
+	SrcIdx int
 	// MsgID and Offset let the receiver reassemble multi-packet messages.
 	MsgID  uint64
 	Offset int

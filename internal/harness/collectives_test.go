@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/caps-sim/shs-k8s/internal/workload"
+)
+
+// TestCollectivesSweepSmall runs a one-pattern, one-size grid and checks
+// the placement physics the full table relies on: flat and colocated never
+// touch global links, spilled always does and is slower.
+func TestCollectivesSweepSmall(t *testing.T) {
+	cfg := CollectivesConfig{
+		Ranks:      4,
+		Sizes:      []int{32 << 10},
+		Iterations: 2,
+		Patterns:   []workload.Pattern{workload.AllreduceRing},
+		GlobalGbps: 25,
+		Seed:       1,
+	}
+	rows, err := RunCollectivesSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3 placements", len(rows))
+	}
+	byPlacement := map[Placement]workload.Report{}
+	for _, r := range rows {
+		byPlacement[r.Placement] = r.Report
+		if want := uint64(cfg.Iterations) * 2 * 3 * uint64(32<<10); r.Report.MPIBytes != want {
+			t.Errorf("%s: MPI bytes %d, want %d", r.Placement, r.Report.MPIBytes, want)
+		}
+	}
+	if g := byPlacement[PlacementFlat].GlobalLinkBytes; g != 0 {
+		t.Errorf("flat placement crossed global links: %d", g)
+	}
+	if g := byPlacement[PlacementColocated].GlobalLinkBytes; g != 0 {
+		t.Errorf("colocated placement crossed global links: %d", g)
+	}
+	if g := byPlacement[PlacementSpilled].GlobalLinkBytes; g == 0 {
+		t.Error("spilled placement shows no global-link traffic")
+	}
+	if byPlacement[PlacementSpilled].Elapsed <= byPlacement[PlacementColocated].Elapsed {
+		t.Errorf("spilled (%v) not slower than colocated (%v)",
+			byPlacement[PlacementSpilled].Elapsed, byPlacement[PlacementColocated].Elapsed)
+	}
+	var sb strings.Builder
+	RenderCollectives(&sb, rows)
+	if !strings.Contains(sb.String(), "allreduce-ring") {
+		t.Errorf("render missing pattern name:\n%s", sb.String())
+	}
+}
+
+// TestCollectivesSweepRejectsBadConfig pins the config validation.
+func TestCollectivesSweepRejectsBadConfig(t *testing.T) {
+	cfg := DefaultCollectivesConfig()
+	cfg.Ranks = 6 // not divisible by the 4 groups
+	if _, err := RunCollectivesSweep(cfg); err == nil {
+		t.Error("indivisible rank count accepted")
+	}
+	cfg = DefaultCollectivesConfig()
+	cfg.GlobalGbps = 0
+	if _, err := RunCollectivesSweep(cfg); err == nil {
+		t.Error("zero global rate accepted")
+	}
+}

@@ -4,6 +4,12 @@
 // experiments (Figures 9-12) with the ramp and spike load patterns. It also
 // renders each figure's data as text tables (figures.go) so `go test
 // -bench` and cmd/shsbench regenerate the paper's plots row by row.
+//
+// Beyond the paper's figures it hosts the extension experiments:
+// traffic-class interference (tc.go), overlay-vs-RDMA (overlaycmp.go),
+// the multi-group hot-link report (fabricreport.go) and the collectives
+// placement-sensitivity sweep (collectives.go); EXPERIMENTS.md records
+// the reference outputs.
 package harness
 
 import (

@@ -91,14 +91,12 @@ func (d *Domain) Addr() Addr { return Addr{NIC: d.ep.NICAddr(), EP: d.ep.Idx()} 
 // Info returns the opening parameters.
 func (d *Domain) Info() Info { return d.info }
 
-// OnRecv registers the receive callback; msg.Src and size identify the
-// sender and payload.
+// OnRecv registers the receive callback; src names the sending endpoint
+// (NIC address plus the initiator endpoint index the frame header carries,
+// as Cassini frames carry the initiator PID index), size the payload.
 func (d *Domain) OnRecv(fn func(src Addr, size int)) {
 	d.ep.OnMessage(func(m cxi.Message) {
-		// The sender's EP index is not carried on the wire (as with real
-		// RDMA, replies go to a known address). Receivers that need to
-		// reply learn the peer address out of band.
-		fn(Addr{NIC: m.Src}, m.Size)
+		fn(Addr{NIC: m.Src, EP: m.SrcEP}, m.Size)
 	})
 }
 

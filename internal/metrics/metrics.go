@@ -1,6 +1,13 @@
 // Package metrics provides the summary statistics the evaluation figures
-// report: means, percentiles (the paper shades p10/p90), medians and
-// boxplot five-number summaries.
+// report — means, percentiles (the paper shades p10/p90), medians and
+// Tukey boxplot five-number summaries — plus the fabric observability
+// helpers the multi-group scenarios lean on: per-link utilization records
+// (LinkUtil), hot-link ranking (TopLinks) and the rendered hot-link table
+// (RenderHotLinks).
+//
+// Everything operates on plain float64 slices so the scenario engine,
+// harness and benchmarks share one implementation of every statistic a
+// report or assertion quotes.
 package metrics
 
 import (

@@ -1,8 +1,18 @@
-// Package mpi provides the minimal MPI-like point-to-point layer the OSU
-// micro-benchmarks need: two ranks with matched Send/Recv over libfabric
-// domains, written in continuation-passing style because the simulation is
-// event-driven (a blocking MPI_Recv becomes a callback invoked when the
-// message arrives).
+// Package mpi provides the MPI-like messaging layer the simulated
+// workloads run on: N-rank communicators with matched point-to-point
+// Send/Recv over libfabric domains, plus the event-driven collective
+// algorithms in collectives.go (ring and recursive-doubling allreduce,
+// pairwise-exchange all-to-all, nearest-neighbor halo exchange). The code
+// is written in continuation-passing style because the simulation is
+// event-driven: a blocking MPI_Recv becomes a callback invoked when the
+// message arrives.
+//
+// Matching follows MPI semantics for a single implicit tag: receives name
+// a source rank (or AnySource) and match arrivals from that rank in FIFO
+// order; messages arriving before a matching receive is posted queue on
+// the unexpected-message queue. Source ranks are recovered from the wire —
+// Cassini frames carry the initiator's endpoint index (fabric.Packet
+// SrcIdx), so two ranks whose pods share one NIC are still told apart.
 //
 // In the paper's software stack this corresponds to Open MPI using the
 // libfabric CXI provider (Table I).
@@ -10,97 +20,179 @@ package mpi
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/caps-sim/shs-k8s/internal/libfabric"
 	"github.com/caps-sim/shs-k8s/internal/sim"
 )
 
-// ErrRankCount is returned when a communicator is not built from two ranks.
-var ErrRankCount = errors.New("mpi: exactly two ranks required")
+// ErrRankCount is returned when a communicator is built from fewer than
+// two ranks.
+var ErrRankCount = errors.New("mpi: at least two ranks required")
+
+// AnySource matches a receive against messages from any rank
+// (MPI_ANY_SOURCE).
+const AnySource = -1
 
 // CallOverhead models the MPI software layer cost per call (matching,
 // request bookkeeping) on top of libfabric.
 const CallOverhead = 120 * time.Nanosecond
 
-// Rank is one endpoint of a two-rank communicator.
+// inMsg is one arrived-but-unmatched message.
+type inMsg struct {
+	src  int // sending rank, or AnySource when the sender is not a member
+	size int
+}
+
+// postedRecv is one posted-but-unmatched receive.
+type postedRecv struct {
+	src int // rank filter, or AnySource
+	fn  func(size int)
+}
+
+// Rank is one endpoint of a communicator.
 type Rank struct {
 	eng  *sim.Engine
 	dom  *libfabric.Domain
-	peer libfabric.Addr
+	comm *Comm
 	id   int
 
 	// Unexpected-message queue and pending-receive queue implement MPI
-	// matching semantics for a single implicit tag.
-	unexpected []int // sizes of arrived-but-unmatched messages
-	pending    []func(size int)
+	// matching semantics for a single implicit tag; both are scanned FIFO
+	// so per-pair ordering is preserved.
+	unexpected []inMsg
+	pending    []postedRecv
 }
 
-// ID returns the rank number (0 or 1).
+// ID returns the rank number (0 .. Size-1).
 func (r *Rank) ID() int { return r.id }
 
-// Comm is a two-rank communicator.
+// Size returns the communicator size.
+func (r *Rank) Size() int { return len(r.comm.Ranks) }
+
+// Comm is an N-rank communicator (N ≥ 2).
 type Comm struct {
-	Ranks [2]*Rank
+	eng *sim.Engine
+	// Ranks holds the members in rank order.
+	Ranks []*Rank
+	// addrs[i] is rank i's libfabric address; rankOf inverts it.
+	addrs  []libfabric.Addr
+	rankOf map[libfabric.Addr]int
+	// bytes accumulates payload bytes pushed through SendTo/Isend, the
+	// basis for the closed-form cost checks in collectives_test.go.
+	bytes uint64
 }
 
-// Connect builds a communicator from two opened domains, exchanging
-// addresses out of band (the runtime's address exchange, e.g. via MPI wire-
-// up or the Kubernetes service the launcher provides).
+// Connect builds a communicator from opened domains, one rank per domain
+// in argument order, exchanging addresses out of band (the runtime's
+// address exchange, e.g. MPI wire-up or the Kubernetes service the
+// launcher provides).
 func Connect(eng *sim.Engine, doms ...*libfabric.Domain) (*Comm, error) {
-	if len(doms) != 2 {
+	if len(doms) < 2 {
 		return nil, ErrRankCount
 	}
-	c := &Comm{}
+	c := &Comm{eng: eng, rankOf: make(map[libfabric.Addr]int, len(doms))}
 	for i, d := range doms {
-		c.Ranks[i] = &Rank{eng: eng, dom: d, id: i}
+		r := &Rank{eng: eng, dom: d, comm: c, id: i}
+		c.Ranks = append(c.Ranks, r)
+		addr := d.Addr()
+		if prev, dup := c.rankOf[addr]; dup {
+			return nil, fmt.Errorf("mpi: ranks %d and %d share address %s", prev, i, addr)
+		}
+		c.addrs = append(c.addrs, addr)
+		c.rankOf[addr] = i
 	}
-	c.Ranks[0].peer = doms[1].Addr()
-	c.Ranks[1].peer = doms[0].Addr()
 	for i := range c.Ranks {
 		r := c.Ranks[i]
-		r.dom.OnRecv(func(_ libfabric.Addr, size int) { r.deliver(size) })
+		r.dom.OnRecv(func(src libfabric.Addr, size int) {
+			from, ok := c.rankOf[src]
+			if !ok {
+				from = AnySource // non-member: matched only by wildcard receives
+			}
+			r.deliver(from, size)
+		})
 	}
 	return c, nil
 }
 
-func (r *Rank) deliver(size int) {
-	if len(r.pending) > 0 {
-		fn := r.pending[0]
-		r.pending = r.pending[1:]
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return len(c.Ranks) }
+
+// BytesSent returns the total payload bytes the ranks have pushed onto the
+// wire through this communicator.
+func (c *Comm) BytesSent() uint64 { return c.bytes }
+
+// deliver matches an arrived message against the pending receives,
+// completing the earliest posted receive whose source filter accepts it.
+func (r *Rank) deliver(src, size int) {
+	for i, p := range r.pending {
+		if p.src != AnySource && p.src != src {
+			continue
+		}
+		r.pending = append(r.pending[:i], r.pending[i+1:]...)
+		fn := p.fn
 		r.eng.After(CallOverhead, func() { fn(size) })
 		return
 	}
-	r.unexpected = append(r.unexpected, size)
+	r.unexpected = append(r.unexpected, inMsg{src: src, size: size})
 }
 
-// Isend posts a non-blocking send of size bytes to the peer; onComplete
-// fires at local completion (send buffer reusable).
-func (r *Rank) Isend(size int, onComplete func()) {
+// SendTo posts a non-blocking send of size bytes to rank dst; onComplete
+// (optional) fires at local completion (send buffer reusable).
+func (r *Rank) SendTo(dst, size int, onComplete func()) {
+	if dst < 0 || dst >= len(r.comm.Ranks) {
+		panic(fmt.Sprintf("mpi: rank %d sending to nonexistent rank %d", r.id, dst))
+	}
+	peer := r.comm.addrs[dst]
+	r.comm.bytes += uint64(size)
 	r.eng.After(CallOverhead, func() {
-		if err := r.dom.Send(r.peer, size, onComplete); err != nil && onComplete != nil {
-			// Surface the failure by never completing; benchmarks treat
-			// this as a hang, which tests assert against. Domain errors
-			// here mean a closed domain — a programming error.
+		if err := r.dom.Send(peer, size, onComplete); err != nil {
+			// Send only fails on a closed domain — a programming error
+			// (workloads close their gang after the run completes), so
+			// panic rather than stalling silently.
 			panic(err)
 		}
 	})
 }
 
-// Recv posts a receive; onMsg fires with the message size when matched.
-func (r *Rank) Recv(onMsg func(size int)) {
-	if len(r.unexpected) > 0 {
-		size := r.unexpected[0]
-		r.unexpected = r.unexpected[1:]
+// RecvFrom posts a receive matching messages from rank src (or AnySource);
+// onMsg fires with the message size when matched.
+func (r *Rank) RecvFrom(src int, onMsg func(size int)) {
+	for i, m := range r.unexpected {
+		if src != AnySource && m.src != src {
+			continue
+		}
+		r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
+		size := m.size
 		r.eng.After(CallOverhead, func() { onMsg(size) })
 		return
 	}
-	r.pending = append(r.pending, onMsg)
+	r.pending = append(r.pending, postedRecv{src: src, fn: onMsg})
 }
 
-// SendRecv sends size bytes and waits for the reply (the ping-pong step of
-// osu_latency): then runs with the reply size.
+// Recv posts a wildcard receive (AnySource); onMsg fires with the message
+// size when matched.
+func (r *Rank) Recv(onMsg func(size int)) { r.RecvFrom(AnySource, onMsg) }
+
+// peer returns the other rank of a two-rank communicator; the 2-rank
+// point-to-point API (Isend/SendRecv) keeps the OSU ping-pong path working
+// unchanged and is meaningless on larger communicators.
+func (r *Rank) peer() int {
+	if len(r.comm.Ranks) != 2 {
+		panic(fmt.Sprintf("mpi: Isend/SendRecv need a 2-rank communicator, have %d ranks (use SendTo/RecvFrom)",
+			len(r.comm.Ranks)))
+	}
+	return 1 - r.id
+}
+
+// Isend posts a non-blocking send of size bytes to the peer of a two-rank
+// communicator; onComplete fires at local completion.
+func (r *Rank) Isend(size int, onComplete func()) { r.SendTo(r.peer(), size, onComplete) }
+
+// SendRecv sends size bytes to the peer and waits for the reply (the
+// ping-pong step of osu_latency): then runs with the reply size.
 func (r *Rank) SendRecv(size int, then func(replySize int)) {
 	r.Isend(size, nil)
-	r.Recv(then)
+	r.RecvFrom(r.peer(), then)
 }

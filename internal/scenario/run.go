@@ -3,12 +3,12 @@ package scenario
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 
 	"github.com/caps-sim/shs-k8s/internal/fabric"
 	"github.com/caps-sim/shs-k8s/internal/k8s"
 	"github.com/caps-sim/shs-k8s/internal/libcxi"
-	"github.com/caps-sim/shs-k8s/internal/libfabric"
 	"github.com/caps-sim/shs-k8s/internal/metrics"
 	"github.com/caps-sim/shs-k8s/internal/mpi"
 	"github.com/caps-sim/shs-k8s/internal/sim"
@@ -16,6 +16,7 @@ import (
 	"github.com/caps-sim/shs-k8s/internal/vniapi"
 	"github.com/caps-sim/shs-k8s/internal/vnidb"
 	"github.com/caps-sim/shs-k8s/internal/vnisvc"
+	"github.com/caps-sim/shs-k8s/internal/workload"
 )
 
 // AssertionResult is one evaluated end-state check.
@@ -77,7 +78,8 @@ func (r *Result) Passed() bool {
 // and evaluates its assertions. Runs are deterministic: the same file and
 // seed produce identical results.
 func Run(sc *Scenario) (res *Result) {
-	r := &runner{sc: sc, res: &Result{Scenario: sc}, completed: map[string]bool{}, submitted: map[string]string{}}
+	r := &runner{sc: sc, res: &Result{Scenario: sc}, completed: map[string]bool{},
+		submitted: map[string]string{}, traffic: map[string]workload.Report{}}
 	// The named return is assigned up front so a recovered panic in an
 	// event or assertion still hands the caller a Result carrying Err.
 	res = r.res
@@ -126,6 +128,8 @@ type runner struct {
 	completed map[string]bool
 	// latUs collects one-way latency samples from pingpong events.
 	latUs []float64
+	// traffic maps run names to their workload reports (run_traffic).
+	traffic map[string]workload.Report
 	// violations counts isolation-probe enforcement failures (forged
 	// packets delivered, cross-VNI endpoints granted).
 	violations int
@@ -194,6 +198,8 @@ func (r *runner) exec(ev *Event) error {
 		return r.probeIsolation()
 	case "pingpong":
 		return r.pingpong(ev)
+	case "run_traffic":
+		return r.runTraffic(ev)
 	case "wait_running":
 		return r.waitRunning(ev)
 	case "wait_jobs_complete":
@@ -562,38 +568,11 @@ func (r *runner) pingpong(ev *Event) error {
 	if err != nil {
 		return err
 	}
-	var doms []*libfabric.Domain
-	var domErr error
-	r.eachPod(tenant, jobName, func(pod *k8s.Pod) bool {
-		if pod.Status.Phase != k8s.PodRunning {
-			return true
-		}
-		node, ok := r.st.NodeByName(pod.Spec.NodeName)
-		if !ok {
-			domErr = fmt.Errorf("pod %s on unknown node %s", pod.Meta.Name, pod.Spec.NodeName)
-			return false
-		}
-		proc, err := node.Runtime.Exec(pod.Meta.Namespace, pod.Meta.Name, "rank", 0, 0)
-		if err != nil {
-			domErr = err
-			return false
-		}
-		d, err := libfabric.OpenDomain(r.st.Eng, libfabric.Info{
-			Device: node.Device, Caller: proc.PID, VNI: vni, TC: fabric.TCLowLatency})
-		if err != nil {
-			domErr = err
-			return false
-		}
-		doms = append(doms, d)
-		return len(doms) < 2
-	})
-	if domErr != nil {
-		return domErr
+	doms, err := workload.Gang(r.st, tenant, jobName, vni, fabric.TCLowLatency)
+	if err != nil {
+		return err
 	}
-	if len(doms) < 2 {
-		return fmt.Errorf("need 2 pods for pingpong, found %d", len(doms))
-	}
-	comm, err := mpi.Connect(r.st.Eng, doms...)
+	comm, err := mpi.Connect(r.st.Eng, doms[:2]...)
 	if err != nil {
 		return err
 	}
@@ -629,6 +608,69 @@ func (r *runner) pingpong(ev *Event) error {
 	s := metrics.Summarize(r.latUs[len(r.latUs)-rounds:])
 	r.logf("pingpong %s/%s: %d rounds of %d B, one-way p50 %.3f us",
 		tenant, jobName, rounds, bytes, s.P50)
+	return nil
+}
+
+// runTraffic executes a named traffic spec over a job's gang: it waits for
+// the job's pods, opens one netns-authenticated domain per pod on the
+// job's VNI, connects an N-rank communicator and drives the collective
+// iteration loop, recording the report under the run name for the
+// traffic_* assertions.
+func (r *runner) runTraffic(ev *Event) error {
+	tenant, jobName := ev.Params["tenant"], ev.Params["job"]
+	name := ev.Params["traffic"]
+	runName := ev.Param("as", name)
+	timeout, _ := time.ParseDuration(ev.Param("timeout", "60s"))
+	var spec *TrafficSpec
+	for i := range r.sc.Traffic {
+		if r.sc.Traffic[i].Name == name {
+			spec = &r.sc.Traffic[i]
+			break
+		}
+	}
+	if spec == nil {
+		return fmt.Errorf("unknown traffic %q", name) // unreachable: Validate checked
+	}
+	obj, ok := r.st.Cluster.Client.Get(k8s.KindJob, tenant, jobName)
+	if !ok {
+		return fmt.Errorf("job %s/%s does not exist", tenant, jobName)
+	}
+	ranks := obj.(*k8s.Job).Spec.Parallelism
+	if ranks < 2 {
+		return fmt.Errorf("job %s/%s has parallelism %d, need ≥ 2 ranks", tenant, jobName, ranks)
+	}
+	if ok := r.st.Eng.RunUntilDone(func() bool {
+		return r.runningPods(tenant, jobName) >= ranks
+	}, r.st.Eng.Now().Add(timeout)); !ok {
+		return fmt.Errorf("timed out waiting for %d running pods of %s/%s", ranks, tenant, jobName)
+	}
+	vni, err := r.tenantVNI(tenant, jobName)
+	if err != nil {
+		return err
+	}
+	doms, err := workload.Gang(r.st, tenant, jobName, vni, fabric.TCBulkData)
+	if err != nil {
+		return err
+	}
+	defer workload.CloseAll(doms)
+	comm, err := mpi.Connect(r.st.Eng, doms...)
+	if err != nil {
+		return err
+	}
+	finished := false
+	var rep workload.Report
+	if err := workload.Run(r.st.Eng, comm, r.st.Topo, spec.Workload(), func(wr workload.Report) {
+		rep, finished = wr, true
+	}); err != nil {
+		return err
+	}
+	if ok := r.st.Eng.RunUntilDone(func() bool { return finished }, r.st.Eng.Now().Add(timeout)); !ok {
+		return fmt.Errorf("traffic %q stalled after %s (%d ranks, pattern %s)", runName, timeout, ranks, spec.Pattern)
+	}
+	r.traffic[runName] = rep
+	r.logf("traffic %s on %s/%s: %s x%d of %d B over %d ranks in %s (%s on global links)",
+		runName, tenant, jobName, spec.Pattern, rep.Spec.Iterations, rep.Spec.Bytes,
+		rep.Ranks, rep.Elapsed, metrics.FormatBytes(int(rep.GlobalLinkBytes)))
 	return nil
 }
 
@@ -691,6 +733,19 @@ func (r *runner) actual(a Assertion) float64 {
 		case "mean":
 			return s.Mean
 		}
+	case "traffic_time_us":
+		return float64(r.traffic[a.Target].Elapsed) / float64(time.Microsecond)
+	case "traffic_mpi_bytes":
+		return float64(r.traffic[a.Target].MPIBytes)
+	case "traffic_global_bytes":
+		return float64(r.traffic[a.Target].GlobalLinkBytes)
+	case "traffic_ratio":
+		parts := strings.SplitN(a.Target, "/", 2)
+		num, den := r.traffic[parts[0]].Elapsed, r.traffic[parts[1]].Elapsed
+		if den == 0 {
+			return 0
+		}
+		return float64(num) / float64(den)
 	case "sync_errors":
 		if r.st.VNISvc == nil {
 			return 0

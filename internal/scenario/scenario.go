@@ -23,6 +23,7 @@ import (
 
 	"github.com/caps-sim/shs-k8s/internal/fabric"
 	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/workload"
 )
 
 // Fleet describes the simulated deployment a scenario runs against. The
@@ -76,6 +77,35 @@ func (e *Event) Param(key, def string) string {
 	return def
 }
 
+// TrafficSpec is one named communication workload the traffic: section
+// defines and run_traffic events execute against a job's gang of pods;
+// docs/workloads.md documents the patterns and their cost models.
+type TrafficSpec struct {
+	// Name is the handle run_traffic events reference.
+	Name string
+	// Pattern is the collective (allreduce-ring, allreduce-rd, alltoall,
+	// halo).
+	Pattern string
+	// Bytes is the per-call payload (default 65536).
+	Bytes int
+	// Iterations is the number of collective calls (default 10).
+	Iterations int
+	// Compute is simulated application compute between iterations.
+	Compute sim.Duration
+	// Line anchors errors to the source file.
+	Line int
+}
+
+// Workload converts the spec into the workload engine's form.
+func (t TrafficSpec) Workload() workload.Spec {
+	return workload.Spec{
+		Pattern:    workload.Pattern(t.Pattern),
+		Bytes:      t.Bytes,
+		Iterations: t.Iterations,
+		Compute:    t.Compute,
+	}
+}
+
 // Assertion is one end-state check evaluated after all events ran.
 type Assertion struct {
 	// Type names the probed quantity (vnis_allocated, jobs_completed,
@@ -102,7 +132,10 @@ type Scenario struct {
 	// Topology shapes the fabric (dragonfly groups, switches per group,
 	// NIC striping, global-link overrides); the zero value is the
 	// paper's single-switch fabric.
-	Topology   fabric.TopologySpec
+	Topology fabric.TopologySpec
+	// Traffic holds the named communication workloads run_traffic events
+	// execute.
+	Traffic    []TrafficSpec
 	Events     []Event
 	Assertions []Assertion
 	// Path is the source file, "" when parsed from a reader.
@@ -184,6 +217,10 @@ func (sc *Scenario) decode(root *value) error {
 			}
 		case "topology":
 			if err := sc.decodeTopology(v); err != nil {
+				return err
+			}
+		case "traffic":
+			if err := sc.decodeTraffic(v); err != nil {
 				return err
 			}
 		case "events":
@@ -314,6 +351,53 @@ func (sc *Scenario) decodeTopology(v *value) error {
 	return nil
 }
 
+// decodeTraffic maps the traffic: section onto TrafficSpecs.
+func (sc *Scenario) decodeTraffic(v *value) error {
+	if v.kind != seqNode {
+		return sc.errAt(v.line, "traffic: must be a sequence")
+	}
+	for _, item := range v.items {
+		if item.kind != mapNode {
+			return sc.errAt(item.line, "traffic: each entry must be a mapping")
+		}
+		ts := TrafficSpec{Line: item.line, Bytes: 65536, Iterations: 10}
+		for _, key := range item.keys {
+			c := item.child[key]
+			if c.kind != scalarNode {
+				return sc.errAt(c.line, "traffic: %q must be a scalar", key)
+			}
+			switch key {
+			case "name":
+				ts.Name = c.scalar
+			case "pattern":
+				ts.Pattern = c.scalar
+			case "bytes":
+				n, err := strconv.Atoi(c.scalar)
+				if err != nil || n < 0 {
+					return sc.errAt(c.line, "traffic.bytes: must be a non-negative integer, got %q", c.scalar)
+				}
+				ts.Bytes = n
+			case "iterations":
+				n, err := strconv.Atoi(c.scalar)
+				if err != nil || n < 1 {
+					return sc.errAt(c.line, "traffic.iterations: must be a positive integer, got %q", c.scalar)
+				}
+				ts.Iterations = n
+			case "compute":
+				d, err := time.ParseDuration(c.scalar)
+				if err != nil || d < 0 {
+					return sc.errAt(c.line, "traffic.compute: not a duration: %q", c.scalar)
+				}
+				ts.Compute = d
+			default:
+				return sc.errAt(c.line, "traffic: unknown key %q", key)
+			}
+		}
+		sc.Traffic = append(sc.Traffic, ts)
+	}
+	return nil
+}
+
 func (sc *Scenario) decodeEvents(v *value) error {
 	if v.kind != seqNode {
 		return sc.errAt(v.line, "events: must be a sequence")
@@ -407,6 +491,7 @@ var actions = map[string]actionSpec{
 	"recover_link":       {optional: []string{"groups", "switches", "link"}},
 	"probe_isolation":    {},
 	"pingpong":           {required: []string{"tenant", "job"}, optional: []string{"rounds", "bytes", "timeout", "tolerate_stall"}},
+	"run_traffic":        {required: []string{"tenant", "job", "traffic"}, optional: []string{"as", "timeout"}},
 	"wait_running":       {required: []string{"tenant", "pods"}, optional: []string{"job", "timeout"}},
 	"wait_jobs_complete": {optional: []string{"tenant", "timeout"}},
 	"resync_vni":         {},
@@ -430,6 +515,12 @@ var assertionTargets = map[string]string{
 	"latency_us":           "stat",
 	"sync_errors":          "",
 	"distinct_tenant_vnis": "",
+	// Per-traffic-run probes: target is a run name (the run_traffic as
+	// param), or "a/b" for the completion-time ratio of two runs.
+	"traffic_time_us":      "run",
+	"traffic_mpi_bytes":    "run",
+	"traffic_global_bytes": "run",
+	"traffic_ratio":        "run-pair",
 }
 
 var latencyStats = map[string]bool{"p50": true, "p90": true, "p99": true, "max": true, "mean": true}
@@ -481,13 +572,46 @@ func (sc *Scenario) Validate() error {
 			return sc.errAt(sc.Events[i].Line, "start_fleet must appear exactly once, first")
 		}
 	}
+	traffic := map[string]bool{}
+	for i := range sc.Traffic {
+		ts := &sc.Traffic[i]
+		if ts.Name == "" {
+			return sc.errAt(ts.Line, "traffic: entry needs a name")
+		}
+		if traffic[ts.Name] {
+			return sc.errAt(ts.Line, "traffic: duplicate name %q", ts.Name)
+		}
+		traffic[ts.Name] = true
+		if err := ts.Workload().Validate(); err != nil {
+			return sc.errAt(ts.Line, "traffic %q: %v", ts.Name, err)
+		}
+	}
 	for i := range sc.Events {
 		if err := sc.validateEvent(&sc.Events[i], tenants); err != nil {
 			return err
 		}
 	}
+	// Each run_traffic event produces one named report (the as param,
+	// defaulting to the traffic name); traffic_* assertions probe them.
+	// Runs after validateEvent so a missing traffic param gets the
+	// standard required-param error, not "unknown traffic".
+	runs := map[string]bool{}
+	for i := range sc.Events {
+		ev := &sc.Events[i]
+		if ev.Action != "run_traffic" {
+			continue
+		}
+		if !traffic[ev.Params["traffic"]] {
+			return sc.errAt(ev.Line, "run_traffic: unknown traffic %q", ev.Params["traffic"])
+		}
+		name := ev.Param("as", ev.Params["traffic"])
+		if runs[name] {
+			return sc.errAt(ev.Line, "run_traffic: duplicate run name %q (use as to disambiguate)", name)
+		}
+		runs[name] = true
+	}
 	for i := range sc.Assertions {
-		if err := sc.validateAssertion(&sc.Assertions[i], tenants); err != nil {
+		if err := sc.validateAssertion(&sc.Assertions[i], tenants, runs); err != nil {
 			return err
 		}
 	}
@@ -616,7 +740,7 @@ func (sc *Scenario) validateLinkEvent(ev *Event) error {
 	return nil
 }
 
-func (sc *Scenario) validateAssertion(a *Assertion, tenants map[string]bool) error {
+func (sc *Scenario) validateAssertion(a *Assertion, tenants, runs map[string]bool) error {
 	kind, ok := assertionTargets[a.Type]
 	if !ok {
 		if a.Type == "" {
@@ -644,6 +768,16 @@ func (sc *Scenario) validateAssertion(a *Assertion, tenants map[string]bool) err
 	case "stat":
 		if !latencyStats[a.Target] {
 			return sc.errAt(a.Line, "%s: target must be one of p50, p90, p99, max, mean, got %q", a.Type, a.Target)
+		}
+	case "run":
+		if !runs[a.Target] {
+			return sc.errAt(a.Line, "%s: target must name a traffic run (a run_traffic as/traffic name), got %q",
+				a.Type, a.Target)
+		}
+	case "run-pair":
+		parts := strings.Split(a.Target, "/")
+		if len(parts) != 2 || !runs[parts[0]] || !runs[parts[1]] {
+			return sc.errAt(a.Line, "%s: target must be two traffic runs as \"a/b\", got %q", a.Type, a.Target)
 		}
 	}
 	if a.Value == "" {

@@ -474,3 +474,214 @@ func TestRunRecoversPanicIntoResult(t *testing.T) {
 		t.Error("panicked run must not pass")
 	}
 }
+
+// TestParseTrafficSection checks the traffic: schema, its defaults, and
+// the run_traffic / traffic_* assertion validation.
+func TestParseTrafficSection(t *testing.T) {
+	sc := mustParse(t, `
+name: traffic
+topology:
+  groups: 2
+  nodesPerSwitch: 2
+fleet:
+  nodes: 4
+  tenants:
+    - name: a
+traffic:
+  - name: ring
+    pattern: allreduce-ring
+    bytes: 131072
+    iterations: 5
+    compute: 1ms
+  - name: small
+    pattern: halo
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 0s
+    action: submit_job
+    tenant: a
+    name: app
+    pods: 2
+    vni: "true"
+  - at: 1s
+    action: run_traffic
+    tenant: a
+    job: app
+    traffic: ring
+    as: first
+  - at: 2s
+    action: run_traffic
+    tenant: a
+    job: app
+    traffic: ring
+    as: second
+assertions:
+  - type: traffic_time_us
+    target: first
+    op: ">"
+    value: 0
+  - type: traffic_ratio
+    target: second/first
+    op: ">="
+    value: 0.5
+`)
+	if len(sc.Traffic) != 2 {
+		t.Fatalf("parsed %d traffic specs", len(sc.Traffic))
+	}
+	ring := sc.Traffic[0]
+	if ring.Pattern != "allreduce-ring" || ring.Bytes != 131072 || ring.Iterations != 5 {
+		t.Errorf("ring spec = %+v", ring)
+	}
+	if small := sc.Traffic[1]; small.Bytes != 65536 || small.Iterations != 10 {
+		t.Errorf("defaults not applied: %+v", small)
+	}
+}
+
+// TestValidateTrafficErrors walks the traffic-section failure modes; every
+// error must be line-anchored and name the problem.
+func TestValidateTrafficErrors(t *testing.T) {
+	base := `
+name: t
+fleet:
+  nodes: 2
+  tenants:
+    - name: a
+`
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown pattern", base + `traffic:
+  - name: x
+    pattern: token-ring
+events:
+  - at: 0s
+    action: start_fleet
+`, "unknown pattern"},
+		{"missing name", base + `traffic:
+  - pattern: halo
+events:
+  - at: 0s
+    action: start_fleet
+`, "needs a name"},
+		{"duplicate name", base + `traffic:
+  - name: x
+    pattern: halo
+  - name: x
+    pattern: halo
+events:
+  - at: 0s
+    action: start_fleet
+`, "duplicate name"},
+		{"unknown traffic ref", base + `events:
+  - at: 0s
+    action: start_fleet
+  - at: 1s
+    action: run_traffic
+    tenant: a
+    job: j
+    traffic: nope
+`, "unknown traffic"},
+		{"duplicate run name", base + `traffic:
+  - name: x
+    pattern: halo
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 1s
+    action: run_traffic
+    tenant: a
+    job: j
+    traffic: x
+  - at: 2s
+    action: run_traffic
+    tenant: a
+    job: j
+    traffic: x
+`, "duplicate run name"},
+		{"assertion unknown run", base + `events:
+  - at: 0s
+    action: start_fleet
+assertions:
+  - type: traffic_time_us
+    target: ghost
+    value: 1
+`, "traffic run"},
+		{"ratio needs two runs", base + `traffic:
+  - name: x
+    pattern: halo
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 1s
+    action: run_traffic
+    tenant: a
+    job: j
+    traffic: x
+assertions:
+  - type: traffic_ratio
+    target: x
+    value: 1
+`, "two traffic runs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunTrafficEndToEnd drives a run_traffic event through a live fleet
+// and checks the recorded report feeds the assertions.
+func TestRunTrafficEndToEnd(t *testing.T) {
+	res := Run(mustParse(t, `
+name: traffic-e2e
+fleet:
+  nodes: 3
+  tenants:
+    - name: a
+traffic:
+  - name: ring
+    pattern: allreduce-ring
+    bytes: 8192
+    iterations: 3
+events:
+  - at: 0s
+    action: start_fleet
+  - at: 0s
+    action: submit_job
+    tenant: a
+    name: app
+    pods: 3
+    runtime: 1h
+    vni: "true"
+  - at: 1s
+    action: run_traffic
+    tenant: a
+    job: app
+    traffic: ring
+assertions:
+  - type: traffic_time_us
+    target: ring
+    op: ">"
+    value: 0
+  - type: traffic_mpi_bytes
+    target: ring
+    value: 98304
+  - type: traffic_global_bytes
+    target: ring
+    value: 0
+`))
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	if !res.Passed() {
+		for _, a := range res.Asserts {
+			t.Logf("%s", a)
+		}
+		t.Fatal("traffic scenario failed")
+	}
+}

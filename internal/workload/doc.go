@@ -1,0 +1,18 @@
+// Package workload is the job-scale traffic engine over the simulated
+// deployment: it takes a gang of MPI ranks — one libfabric domain per
+// scheduled pod of a Kubernetes job, or per node of a Slurm allocation —
+// builds an N-rank communicator over their NICs, runs a configurable
+// iteration loop of collective operations (internal/mpi) on the virtual
+// clock, and reports per-job completion time together with the fabric
+// counters that explain it (global-link bytes, peak link utilization,
+// trunk drops).
+//
+// The engine is what turns the dragonfly topology of internal/fabric from
+// a data structure into an experiment platform: the same collective on the
+// same fleet completes at very different speeds depending on whether the
+// scheduler co-located the gang inside one group or spilled it across
+// groups, and the report quantifies both the slowdown and the global-link
+// traffic that causes it. The scenario DSL's traffic: section
+// (internal/scenario, docs/workloads.md) and the collectives sweep in
+// cmd/shsbench are the two front ends.
+package workload

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/caps-sim/shs-k8s/internal/cxi"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/libfabric"
+	"github.com/caps-sim/shs-k8s/internal/nsmodel"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/slurm"
+	"github.com/caps-sim/shs-k8s/internal/stack"
+)
+
+// Gang opens one libfabric domain per running pod of a Kubernetes job, in
+// pod-name order so rank numbering is deterministic for a given placement.
+// Each domain is opened by a process spawned inside the pod's namespaces —
+// the netns-membership authentication the paper's data path requires. The
+// caller owns the returned domains (CloseAll releases them).
+func Gang(st *stack.Stack, tenant, job string, vni fabric.VNI, tc fabric.TrafficClass) ([]*libfabric.Domain, error) {
+	var pods []*k8s.Pod
+	for _, obj := range st.Cluster.Client.Lister(k8s.KindPod).List(tenant) {
+		pod := obj.(*k8s.Pod)
+		if pod.Meta.Labels["job-name"] != job || pod.Status.Phase != k8s.PodRunning {
+			continue
+		}
+		pods = append(pods, pod)
+	}
+	if len(pods) < 2 {
+		return nil, fmt.Errorf("workload: job %s/%s has %d running pod(s), need ≥ 2 for a gang", tenant, job, len(pods))
+	}
+	sort.Slice(pods, func(i, j int) bool { return pods[i].Meta.Name < pods[j].Meta.Name })
+
+	var doms []*libfabric.Domain
+	for rank, pod := range pods {
+		node, ok := st.NodeByName(pod.Spec.NodeName)
+		if !ok {
+			CloseAll(doms)
+			return nil, fmt.Errorf("workload: pod %s on unknown node %s", pod.Meta.Name, pod.Spec.NodeName)
+		}
+		proc, err := node.Runtime.Exec(pod.Meta.Namespace, pod.Meta.Name, fmt.Sprintf("rank%d", rank), 0, 0)
+		if err != nil {
+			CloseAll(doms)
+			return nil, err
+		}
+		d, err := libfabric.OpenDomain(st.Eng, libfabric.Info{
+			Device: node.Device, Caller: proc.PID, VNI: vni, TC: tc})
+		if err != nil {
+			CloseAll(doms)
+			return nil, fmt.Errorf("workload: rank %d (pod %s): %w", rank, pod.Meta.Name, err)
+		}
+		doms = append(doms, d)
+	}
+	return doms, nil
+}
+
+// SlurmGang opens one libfabric domain per node of a running Slurm job, in
+// allocation order, authenticating as the job's user against the UID-member
+// CXI services slurmd created (the classic HPC-side path, in contrast to
+// Gang's netns authentication). devices maps node names to their NICs —
+// stack deployments pass stack.Node.Device.
+func SlurmGang(eng *sim.Engine, kern *nsmodel.Kernel, job *slurm.Job, devices map[string]*cxi.Device, tc fabric.TrafficClass) ([]*libfabric.Domain, error) {
+	if job.State != slurm.StateRunning {
+		return nil, fmt.Errorf("workload: slurm job %d is %s, need %s", job.ID, job.State, slurm.StateRunning)
+	}
+	var doms []*libfabric.Domain
+	for rank, name := range job.Nodes {
+		dev, ok := devices[name]
+		if !ok {
+			CloseAll(doms)
+			return nil, fmt.Errorf("workload: no device for slurm node %q", name)
+		}
+		proc, err := kern.Spawn(fmt.Sprintf("slurm-rank%d", rank), job.User, job.Group, 0, 0)
+		if err != nil {
+			CloseAll(doms)
+			return nil, err
+		}
+		d, err := libfabric.OpenDomain(eng, libfabric.Info{Device: dev, Caller: proc.PID, VNI: job.VNI, TC: tc})
+		if err != nil {
+			CloseAll(doms)
+			return nil, fmt.Errorf("workload: slurm rank %d on %s: %w", rank, name, err)
+		}
+		doms = append(doms, d)
+	}
+	if len(doms) < 2 {
+		CloseAll(doms)
+		return nil, fmt.Errorf("workload: slurm job %d spans %d node(s), need ≥ 2 for a gang", job.ID, len(doms))
+	}
+	return doms, nil
+}
+
+// CloseAll releases every domain of a gang.
+func CloseAll(doms []*libfabric.Domain) {
+	for _, d := range doms {
+		d.Close()
+	}
+}

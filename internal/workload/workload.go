@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/mpi"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// Pattern names a collective communication pattern the engine can drive.
+type Pattern string
+
+// The supported patterns; docs/workloads.md describes each algorithm and
+// its cost model.
+const (
+	// AllreduceRing is the bandwidth-optimal ring allreduce
+	// (reduce-scatter + allgather), the pattern of data-parallel training
+	// and iterative solvers.
+	AllreduceRing Pattern = "allreduce-ring"
+	// AllreduceRecDbl is the latency-optimal recursive-doubling
+	// allreduce; its doubling distances make the later rounds cross-group.
+	AllreduceRecDbl Pattern = "allreduce-rd"
+	// Alltoall is the pairwise-exchange complete exchange, the classic
+	// global-link hotspot (FFT transposes, shuffle phases).
+	Alltoall Pattern = "alltoall"
+	// Halo is a periodic 1-D nearest-neighbor halo exchange, the stencil
+	// pattern that placement-aware scheduling keeps inside a group.
+	Halo Pattern = "halo"
+)
+
+// Patterns lists every supported pattern, in documentation order.
+func Patterns() []Pattern {
+	return []Pattern{AllreduceRing, AllreduceRecDbl, Alltoall, Halo}
+}
+
+// ParsePattern validates a pattern name from a scenario file or flag.
+func ParsePattern(s string) (Pattern, error) {
+	for _, p := range Patterns() {
+		if s == string(p) {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("workload: unknown pattern %q (have %v)", s, Patterns())
+}
+
+// Spec configures one traffic run: Iterations repetitions of Pattern with
+// Bytes per collective call, separated by Compute of simulated
+// application compute.
+type Spec struct {
+	Pattern Pattern
+	// Bytes is the per-call payload: the vector size for allreduce, the
+	// per-destination block for alltoall, the halo width for halo.
+	Bytes int
+	// Iterations is the number of collective calls (≥ 1).
+	Iterations int
+	// Compute is simulated application compute between iterations
+	// (0 = back-to-back communication).
+	Compute sim.Duration
+}
+
+// DefaultSpec is a moderate allreduce loop.
+func DefaultSpec() Spec {
+	return Spec{Pattern: AllreduceRing, Bytes: 64 << 10, Iterations: 10}
+}
+
+// Validate rejects malformed specs before they reach the engine.
+func (s Spec) Validate() error {
+	if _, err := ParsePattern(string(s.Pattern)); err != nil {
+		return err
+	}
+	if s.Bytes < 0 {
+		return fmt.Errorf("workload: negative payload %d", s.Bytes)
+	}
+	if s.Iterations < 1 {
+		return fmt.Errorf("workload: iterations must be ≥ 1, got %d", s.Iterations)
+	}
+	if s.Compute < 0 {
+		return fmt.Errorf("workload: negative compute %v", s.Compute)
+	}
+	return nil
+}
+
+// Report is the outcome of one traffic run.
+type Report struct {
+	Spec  Spec
+	Ranks int
+	// Elapsed is the virtual time from first call to last completion —
+	// the job's communication time.
+	Elapsed sim.Duration
+	// MPIBytes is the payload volume the ranks pushed through the MPI
+	// layer during the run.
+	MPIBytes uint64
+	// GlobalLinkBytes is the traffic that crossed dragonfly global links
+	// during the run; zero means the placement kept the job inside one
+	// group. Zero when no topology was attached.
+	GlobalLinkBytes uint64
+	// MaxLinkUtilization is the busiest directional trunk's utilization at
+	// the end of the run (fabric-lifetime ratio, as the scenario assertion
+	// of the same name reports).
+	MaxLinkUtilization float64
+	// TrunkDrops counts packets lost on down trunks during the run.
+	TrunkDrops uint64
+}
+
+// Run executes spec over the communicator and calls done with the report
+// when the final iteration completes. topo, when non-nil, scopes the
+// fabric counters to the run (byte and drop counters are deltas). The
+// caller drives the engine; like every simulated component, Run only
+// schedules events.
+func Run(eng *sim.Engine, comm *mpi.Comm, topo *fabric.Topology, spec Spec, done func(Report)) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	start := eng.Now()
+	startBytes := comm.BytesSent()
+	var startGlobal, startDrops uint64
+	if topo != nil {
+		startGlobal = topo.GlobalLinkBytes()
+		startDrops = topo.TrunkDrops()
+	}
+	iter := 0
+	var loop func()
+	loop = func() {
+		if iter == spec.Iterations {
+			rep := Report{
+				Spec:     spec,
+				Ranks:    comm.Size(),
+				Elapsed:  eng.Now().Sub(start),
+				MPIBytes: comm.BytesSent() - startBytes,
+			}
+			if topo != nil {
+				rep.GlobalLinkBytes = topo.GlobalLinkBytes() - startGlobal
+				rep.TrunkDrops = topo.TrunkDrops() - startDrops
+				for _, l := range topo.Links() {
+					if l.Utilization > rep.MaxLinkUtilization {
+						rep.MaxLinkUtilization = l.Utilization
+					}
+				}
+			}
+			done(rep)
+			return
+		}
+		iter++
+		next := loop
+		if spec.Compute > 0 {
+			next = func() { eng.After(spec.Compute, loop) }
+		}
+		// Validate guaranteed the pattern, so the dispatch cannot fail.
+		if err := comm.RunCollective(string(spec.Pattern), spec.Bytes, next); err != nil {
+			panic(err)
+		}
+	}
+	eng.After(0, loop)
+	return nil
+}
