@@ -1,16 +1,21 @@
 // Command shsbench regenerates the paper's evaluation artefacts: Table I
 // and Figures 5-12, printed as data tables (the same series the paper
-// plots).
+// plots). It also hosts the hot-path perf suite: `-exp perf` runs the
+// allocation-tracking benchmarks (internal/perfsuite) in-process and
+// writes the machine-readable BENCH_*.json trajectory snapshot.
 //
 // Usage:
 //
 //	shsbench -exp all
 //	shsbench -exp fig5 -runs 10
 //	shsbench -exp fig12 -runs 5 -seed 42
+//	shsbench -exp perf -benchjson BENCH_PR5.json
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 // comm (fig5-8), admission (fig9-12), fabric (multi-group hot-link
-// report), collectives (pattern × size × placement sweep), all.
+// report), collectives (pattern × size × placement sweep), perf (hot-path
+// benchmark suite + BENCH_*.json), all (every paper artefact; perf stays
+// opt-in so figure regeneration time is unchanged).
 package main
 
 import (
@@ -19,18 +24,52 @@ import (
 	"os"
 
 	"github.com/caps-sim/shs-k8s/internal/harness"
+	"github.com/caps-sim/shs-k8s/internal/perfsuite"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig5..fig12, comm, admission, fabric, collectives, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig5..fig12, comm, admission, fabric, collectives, perf, all)")
 	runs := flag.Int("runs", 0, "repetitions per mode (0 = paper defaults: 10 comm / 5 admission)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	benchJSON := flag.String("benchjson", "BENCH_PR5.json", "output path for the -exp perf JSON snapshot")
 	flag.Parse()
 
+	if *exp == "perf" {
+		if err := runPerf(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "shsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *runs, *seed); err != nil {
 		fmt.Fprintf(os.Stderr, "shsbench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runPerf executes the hot-path benchmark suite and writes the JSON
+// trajectory snapshot next to a printed table. Timing varies run to run;
+// only execution failures are fatal, so CI can emit the artefact without
+// gating on noise.
+func runPerf(jsonPath string) error {
+	// Open the artefact first so an unwritable path fails before the
+	// multi-second benchmark run, not after.
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Printf("===== Hot-path perf suite (%d cases, ~1s each) =====\n", len(perfsuite.Suite()))
+	results, err := perfsuite.Run()
+	if err != nil {
+		return err
+	}
+	perfsuite.RenderTable(os.Stdout, results)
+	if err := perfsuite.WriteJSON(f, "shs-k8s-hotpath", results); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+	return nil
 }
 
 func run(exp string, runs int, seed int64) error {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"testing"
+	"time"
 )
 
 // TestRunCheapExperiments exercises the CLI driver on the experiments that
@@ -12,6 +13,20 @@ func TestRunCheapExperiments(t *testing.T) {
 		if err := run(exp, 1, 1); err != nil {
 			t.Errorf("run(%q): %v", exp, err)
 		}
+	}
+}
+
+// TestRunPerfUnwritablePathFailsFast: -exp perf must reject a bad output
+// path before spending benchmark time (the happy path — a full suite run
+// plus JSON artefact — is exercised by the CI perf-smoke step, and the
+// writer schema by internal/perfsuite's own tests).
+func TestRunPerfUnwritablePathFailsFast(t *testing.T) {
+	start := time.Now()
+	if err := runPerf(t.TempDir() + "/no-such-dir/bench.json"); err == nil {
+		t.Fatal("runPerf succeeded on an unwritable path")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("runPerf spent %v before failing; must fail before running the suite", elapsed)
 	}
 }
 

@@ -14,7 +14,10 @@
 // Flags for run: -v (print the event narration), -workers N (parallel
 // scenario runs for directories; results print in deterministic order),
 // -seed N (override every scenario's baked-in seed; the effective seed is
-// printed either way, so any run can be reproduced exactly).
+// printed either way, so any run can be reproduced exactly), -repeat N
+// (run every scenario N times at consecutive seeds — base, base+1, … —
+// reusing the parsed spec, so seed sweeps pay YAML parsing and validation
+// once per file instead of once per run).
 package main
 
 import (
@@ -58,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
-  shssim run [-v] [-workers N] [-seed N] <file-or-dir> [...]
+  shssim run [-v] [-workers N] [-seed N] [-repeat N] <file-or-dir> [...]
   shssim validate <file> [...]
   shssim list [dir]
 `)
@@ -105,6 +108,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	verbose := fs.Bool("v", false, "print the event narration for each run")
 	workers := fs.Int("workers", 4, "scenarios run in parallel")
 	seed := fs.Int64("seed", 0, "override the scenario seed (0 = use each file's seed)")
+	repeat := fs.Int("repeat", 1, "runs per scenario at consecutive seeds (base, base+1, ...)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -115,11 +119,18 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "shssim run: need at least one scenario file or directory")
 		return 2
 	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
 	files, err := collectFiles(fs.Args())
 	if err != nil {
 		fmt.Fprintf(stderr, "shssim: %v\n", err)
 		return 1
 	}
+	// Parse and validate each file exactly once; repeats share the parsed
+	// spec. scenario.Run never mutates its input, so one immutable spec
+	// can back any number of runs — each run takes a shallow copy carrying
+	// only its effective seed.
 	scenarios := make([]*scenario.Scenario, len(files))
 	for i, f := range files {
 		sc, err := scenario.ParseFile(f)
@@ -127,40 +138,56 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "shssim: %v\n", err)
 			return 1
 		}
-		if *seed != 0 {
-			sc.Seed = *seed
-		}
 		scenarios[i] = sc
 	}
 
-	// Independent scenarios run in parallel worker goroutines; each gets
+	// One job per (file, repeat): seeds step from the base (the -seed
+	// override, or the file's own seed) so sweeps are reproducible.
+	type job struct {
+		file string
+		sc   *scenario.Scenario
+	}
+	var jobs []job
+	for i, sc := range scenarios {
+		base := sc.Seed
+		if *seed != 0 {
+			base = *seed
+		}
+		for rep := 0; rep < *repeat; rep++ {
+			cp := *sc // shallow copy: Run treats events/assertions as read-only
+			cp.Seed = base + int64(rep)
+			jobs = append(jobs, job{file: files[i], sc: &cp})
+		}
+	}
+
+	// Independent runs execute in parallel worker goroutines; each gets
 	// its own stack and virtual clock, so parallelism cannot perturb
 	// results. Output is collected per index and printed in input order.
-	results := make([]*scenario.Result, len(scenarios))
+	results := make([]*scenario.Result, len(jobs))
 	if *workers < 1 {
 		*workers = 1
 	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, *workers)
-	for i, sc := range scenarios {
+	for i, j := range jobs {
 		wg.Add(1)
 		go func(i int, sc *scenario.Scenario) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			results[i] = scenario.Run(sc)
-		}(i, sc)
+		}(i, j.sc)
 	}
 	wg.Wait()
 
 	failures := 0
 	for i, res := range results {
-		printResult(stdout, files[i], res, *verbose)
+		printResult(stdout, jobs[i].file, res, *verbose)
 		if !res.Passed() {
 			failures++
 		}
 	}
-	fmt.Fprintf(stdout, "\n%d scenario(s): %d passed, %d failed\n", len(results), len(results)-failures, failures)
+	fmt.Fprintf(stdout, "\n%d scenario run(s): %d passed, %d failed\n", len(results), len(results)-failures, failures)
 	if failures > 0 {
 		return 1
 	}

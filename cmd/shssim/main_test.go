@@ -93,6 +93,35 @@ func TestRunSeedFlag(t *testing.T) {
 	}
 }
 
+// TestRunRepeatSweepsSeedsFromOneParse: -repeat reuses the spec parsed
+// once per file across consecutive-seed runs. The report must show one
+// result per repeat at seeds base, base+1, …, each reproducible against a
+// standalone run at the same seed.
+func TestRunRepeatSweepsSeedsFromOneParse(t *testing.T) {
+	file := filepath.Join(repoScenarios(t), "quickstart.yaml")
+	var out, errb bytes.Buffer
+	if code := run([]string{"run", "-seed", "7", "-repeat", "3", file}, &out, &errb); code != 0 {
+		t.Fatalf("run exited %d:\n%s%s", code, out.String(), errb.String())
+	}
+	got := out.String()
+	for _, want := range []string{"seed 7)", "seed 8)", "seed 9)", "3 scenario run(s): 3 passed"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("repeat output missing %q:\n%s", want, got)
+		}
+	}
+	// Each repeat must match a fresh single run at its seed (the shared
+	// spec carries no state between runs): the standalone seed-8 result
+	// block must appear verbatim inside the repeat output.
+	var single bytes.Buffer
+	if code := run([]string{"run", "-seed", "8", file}, &single, &errb); code != 0 {
+		t.Fatalf("single run exited %d: %s", code, errb.String())
+	}
+	wantBlock := strings.Split(single.String(), "\n\n")[0]
+	if wantBlock == "" || !strings.Contains(got, wantBlock) {
+		t.Errorf("repeat at seed 8 differs from standalone seed-8 run:\nrepeat:\n%s\nsingle block:\n%s", got, wantBlock)
+	}
+}
+
 func TestRunFailingScenarioExitsNonZero(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "fail.yaml")
 	src := `name: doomed

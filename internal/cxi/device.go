@@ -384,6 +384,28 @@ func (d *Device) checkSvc(caller nsmodel.PID, svc *Svc, vni fabric.VNI, tc fabri
 	return AuthOK
 }
 
+// msgDeliver is the pooled argument of a receive-overhead event: the
+// reassembled message rides here instead of in a closure, so steady-state
+// message delivery does not allocate.
+type msgDeliver struct {
+	ep  *Endpoint
+	msg Message
+}
+
+var msgDeliverPool = sync.Pool{New: func() any { return new(msgDeliver) }}
+
+func msgDeliverCall(a any) {
+	md := a.(*msgDeliver)
+	ep, msg := md.ep, md.msg
+	md.ep = nil
+	msgDeliverPool.Put(md)
+	ep.deliver(msg)
+}
+
+// partialMsgPool recycles reassembly records; only multi-frame messages in
+// frame-granular mode (CoalesceFrames off) ever allocate one.
+var partialMsgPool = sync.Pool{New: func() any { return new(partialMsg) }}
+
 // ReceivePacket implements fabric.Receiver: demultiplex by destination
 // endpoint index, reassemble, and deliver after the receive overhead.
 func (d *Device) ReceivePacket(p *fabric.Packet) {
@@ -402,28 +424,34 @@ func (d *Device) ReceivePacket(p *fabric.Packet) {
 		}
 		return
 	}
+	size := p.PayloadBytes
+	complete := p.Last
 	key := partialKey{src: p.Src, id: p.MsgID}
-	pm := d.partial[key]
-	if pm == nil {
-		pm = &partialMsg{dst: p.DstIdx, vni: p.VNI}
+	// The common case — a coalesced or single-frame message, no partial
+	// state — never touches the reassembly map.
+	if pm, started := d.partial[key]; started {
+		pm.got += p.PayloadBytes
+		size = pm.got
+		if complete {
+			delete(d.partial, key)
+			*pm = partialMsg{}
+			partialMsgPool.Put(pm)
+		}
+	} else if !complete {
+		pm = partialMsgPool.Get().(*partialMsg)
+		pm.got, pm.dst, pm.vni = p.PayloadBytes, p.DstIdx, p.VNI
 		d.partial[key] = pm
 	}
-	pm.got += p.PayloadBytes
-	complete := p.Last
-	size := pm.got
 	if complete {
-		delete(d.partial, key)
 		d.stats.MsgsRecv++
 		d.stats.BytesRecv += uint64(size)
 	}
 	d.mu.Unlock()
 
 	if complete {
-		src := p.Src
-		srcEP := p.SrcIdx
-		tc := p.TC
-		d.eng.After(d.eng.Jitter(d.cfg.RecvOverhead, 0.02), func() {
-			ep.deliver(Message{Src: src, SrcEP: srcEP, Size: size, VNI: p.VNI, TC: tc})
-		})
+		md := msgDeliverPool.Get().(*msgDeliver)
+		md.ep = ep
+		md.msg = Message{Src: p.Src, SrcEP: p.SrcIdx, Size: size, VNI: p.VNI, TC: p.TC}
+		d.eng.AfterCall(d.eng.Jitter(d.cfg.RecvOverhead, 0.02), msgDeliverCall, md)
 	}
 }

@@ -2,6 +2,7 @@ package cxi
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/caps-sim/shs-k8s/internal/fabric"
 	"github.com/caps-sim/shs-k8s/internal/nsmodel"
@@ -132,43 +133,66 @@ func (ep *Endpoint) Send(dst fabric.Addr, dstIdx int, size int, onComplete func(
 	}
 	start := issue.Add(d.eng.Jitter(cfg.SendOverhead, 0.02))
 
-	send := func() {
-		if cfg.CoalesceFrames || frames == 1 {
-			last := d.link.Send(&fabric.Packet{
-				Src: d.addr, Dst: dst, VNI: ep.vni, TC: ep.tc,
-				PayloadBytes: size, Frames: frames, DstIdx: dstIdx, SrcIdx: ep.idx,
-				MsgID: msgID, Last: true,
-			})
-			if onComplete != nil {
-				d.eng.At(last, onComplete)
-			}
-			return
-		}
-		var last sim.Time
-		remaining := size
+	sa := sendArgPool.Get().(*sendArg)
+	*sa = sendArg{ep: ep, dst: dst, dstIdx: dstIdx, size: size, frames: frames,
+		msgID: msgID, onComplete: onComplete}
+	d.eng.AtCall(start, sendCall, sa)
+	return nil
+}
+
+// sendArg is the pooled bookkeeping of one in-flight send: the DMA-issue
+// event carries it instead of a closure, so the per-message transmit path
+// does not allocate.
+type sendArg struct {
+	ep         *Endpoint
+	dst        fabric.Addr
+	dstIdx     int
+	size       int
+	frames     int
+	msgID      uint64
+	onComplete func()
+}
+
+var sendArgPool = sync.Pool{New: func() any { return new(sendArg) }}
+
+// sendCall runs when the send overhead has elapsed: it serializes the
+// message onto the host link as one coalesced burst or frame by frame, and
+// schedules the local-completion callback at the time the last bit leaves
+// the NIC.
+func sendCall(a any) {
+	sa := a.(*sendArg)
+	ep, d := sa.ep, sa.ep.dev
+	var last sim.Time
+	if d.cfg.CoalesceFrames || sa.frames == 1 {
+		last = d.link.Send(&fabric.Packet{
+			Src: d.addr, Dst: sa.dst, VNI: ep.vni, TC: ep.tc,
+			PayloadBytes: sa.size, Frames: sa.frames, DstIdx: sa.dstIdx, SrcIdx: ep.idx,
+			MsgID: sa.msgID, Last: true,
+		})
+	} else {
+		mtu := d.sw.Config().MTU
+		remaining := sa.size
 		off := 0
-		for f := 0; f < frames; f++ {
+		for f := 0; f < sa.frames; f++ {
 			chunk := mtu
 			if chunk > remaining {
 				chunk = remaining
 			}
-			if chunk == 0 {
-				chunk = 0 // zero-byte message: single empty frame handled above
-			}
 			last = d.link.Send(&fabric.Packet{
-				Src: d.addr, Dst: dst, VNI: ep.vni, TC: ep.tc,
-				PayloadBytes: chunk, Frames: 1, DstIdx: dstIdx, SrcIdx: ep.idx,
-				MsgID: msgID, Offset: off, Last: f == frames-1,
+				Src: d.addr, Dst: sa.dst, VNI: ep.vni, TC: ep.tc,
+				PayloadBytes: chunk, Frames: 1, DstIdx: sa.dstIdx, SrcIdx: ep.idx,
+				MsgID: sa.msgID, Offset: off, Last: f == sa.frames-1,
 			})
 			off += chunk
 			remaining -= chunk
 		}
-		if onComplete != nil {
-			d.eng.At(last, onComplete)
-		}
 	}
-	d.eng.At(start, send)
-	return nil
+	onComplete := sa.onComplete
+	*sa = sendArg{}
+	sendArgPool.Put(sa)
+	if onComplete != nil {
+		d.eng.At(last, onComplete)
+	}
 }
 
 // Close releases the endpoint and its service resources.

@@ -1,57 +1,17 @@
-package fabric
+package fabric_test
+
+// Thin wrappers so the canonical dragonfly forwarding benchmarks
+// (internal/perfsuite) run under `go test -bench` here; `shsbench -exp
+// perf` runs the same bodies and writes them to BENCH_*.json. Groups1 is
+// the intra-group baseline; larger fabrics add gateway hops, the epoch-
+// validated route cache, and global-link contention.
 
 import (
 	"testing"
 
-	"github.com/caps-sim/shs-k8s/internal/sim"
+	"github.com/caps-sim/shs-k8s/internal/perfsuite"
 )
 
-// benchmarkFabricGroups drives an all-to-all packet pattern across a
-// dragonfly of the given group count (2 switches per group, 2 endpoints
-// per switch) and reports per-packet cost. Groups1 is the intra-group
-// baseline; larger fabrics add gateway hops and global-link contention,
-// tracking how the topology layer scales.
-func benchmarkFabricGroups(b *testing.B, groups int) {
-	eng := sim.NewEngine(1)
-	spec := TopologySpec{Groups: groups, SwitchesPerGroup: 2}
-	cfg := DefaultConfig()
-	topo := NewTopology(eng, cfg, spec)
-	var addrs []Addr
-	for i := range topo.Switches() {
-		for k := 0; k < 2; k++ {
-			addrs = append(addrs, topo.Attach(i, &sink{}))
-		}
-	}
-	for _, a := range addrs {
-		if err := topo.GrantVNI(a, 5); err != nil {
-			b.Fatal(err)
-		}
-	}
-	links := make([]*HostLink, len(addrs))
-	for i := range addrs {
-		sw, _ := topo.SwitchFor(addrs[i])
-		links[i] = NewHostLink(eng, sw)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		src := i % len(addrs)
-		dst := (i*7 + 1) % len(addrs) // co-prime stride: mixes local, intra- and inter-group pairs
-		if dst == src {
-			dst = (dst + 1) % len(addrs)
-		}
-		p := &Packet{Src: addrs[src], Dst: addrs[dst], VNI: 5, TC: TCBulkData, PayloadBytes: 1024, Frames: 1, Last: true}
-		l := links[src]
-		eng.After(0, func() { l.Send(p) })
-		eng.Run()
-	}
-	b.StopTimer()
-	st := topo.Stats()
-	if st.Forwarded == 0 {
-		b.Fatal("no packets forwarded")
-	}
-}
-
-func BenchmarkFabric_Groups1(b *testing.B)  { benchmarkFabricGroups(b, 1) }
-func BenchmarkFabric_Groups4(b *testing.B)  { benchmarkFabricGroups(b, 4) }
-func BenchmarkFabric_Groups16(b *testing.B) { benchmarkFabricGroups(b, 16) }
+func BenchmarkFabric_Groups1(b *testing.B)  { perfsuite.FabricGroups(1)(b) }
+func BenchmarkFabric_Groups4(b *testing.B)  { perfsuite.FabricGroups(4)(b) }
+func BenchmarkFabric_Groups16(b *testing.B) { perfsuite.FabricGroups(16)(b) }

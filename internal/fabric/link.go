@@ -1,6 +1,8 @@
 package fabric
 
 import (
+	"sync"
+
 	"github.com/caps-sim/shs-k8s/internal/sim"
 )
 
@@ -33,10 +35,32 @@ func (l *HostLink) Send(p *Packet) sim.Time {
 	end := start.Add(tx)
 	l.busyAt = end
 
-	arrive := end.Add(cfg.PropagationDelay)
-	pkt := *p
-	l.eng.At(arrive, func() { l.sw.Inject(&pkt) })
+	in := injectPool.Get().(*injectArg)
+	in.sw, in.pkt = l.sw, *p
+	l.eng.AtCall(end.Add(cfg.PropagationDelay), injectCall, in)
 	return end
+}
+
+// injectArg is the pooled argument of a host-link arrival event: the packet
+// copy that used to live in a per-send closure rides here instead, so the
+// NIC-to-switch leg allocates nothing in steady state.
+type injectArg struct {
+	sw  *Switch
+	pkt Packet
+}
+
+var injectPool = sync.Pool{New: func() any { return new(injectArg) }}
+
+func injectCall(a any) {
+	in := a.(*injectArg)
+	// The packet stays in the pooled struct for the duration of the call
+	// (copying it to a local would force a fresh heap copy, since &pkt
+	// flows into indirect calls); Inject copies anything it keeps, so the
+	// struct is returned once it comes back.
+	in.sw.Inject(&in.pkt)
+	in.sw = nil
+	in.pkt = Packet{}
+	injectPool.Put(in)
 }
 
 // BusyUntil returns the time the link becomes idle.

@@ -1,9 +1,12 @@
 package fabric
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // routeVerdict is what a switch's remoteRoute callback reports back to
-// Inject, which still holds the switch lock and must account the outcome.
+// Inject, which must account the outcome.
 type routeVerdict int
 
 const (
@@ -18,38 +21,71 @@ const (
 	routeLinkDown
 )
 
+// routeEntry is one slot of the next-link cache, indexed by
+// (source switch, destination switch). An entry is valid while its epoch
+// matches the topology's; SetTrunkDown bumps the epoch, so a topology
+// change invalidates every cached route at once without a sweep.
+type routeEntry struct {
+	epoch uint64
+	// next is the first link of the best live minimal path, nil when no
+	// live path exists.
+	next *link
+	// blame, when next is nil, is the link charged with each drop (the
+	// direct intra-group trunk, or the preferred global link), keeping
+	// hot-link drop counters identical to per-packet re-resolution.
+	blame *link
+}
+
 // routeFrom builds the remoteRoute callback for one edge switch. The
-// callback is invoked from Switch.Inject with that switch's lock held; it
+// callback is invoked from Switch.Inject on the engine goroutine; it
 // touches only topology and engine state.
 func (t *Topology) routeFrom(sw *Switch) func(p *Packet) routeVerdict {
+	ci := t.index[sw]
 	return func(p *Packet) routeVerdict {
-		t.mu.Lock()
-		defer t.mu.Unlock()
 		dst, ok := t.owner[p.Dst]
 		if !ok || dst == sw {
 			return routeUnknown
 		}
-		return t.hopLocked(sw, dst, p)
+		return t.hop(ci, t.index[dst], p)
 	}
 }
 
-// nextLinkLocked resolves the first link of a minimal path from cur toward
-// dst. Within a group that is the direct intra-group trunk. Across groups
+// nextLink resolves the first link of a minimal path from switch ci toward
+// switch di through the epoch-validated cache. In the steady state this is
+// one slice read; the minimal-path search in resolveNextLink runs only for
+// the first packet over each switch pair after a topology change. The
+// per-packet drop accounting (charging the blamed link) stays here so
+// counters match uncached resolution exactly.
+func (t *Topology) nextLink(ci, di int) (*link, bool) {
+	e := &t.routes[ci*len(t.switches)+di]
+	if e.epoch != t.routeEpoch {
+		e.next, e.blame = t.resolveNextLink(ci, di)
+		e.epoch = t.routeEpoch
+	}
+	if e.next == nil {
+		if e.blame != nil {
+			e.blame.stats.Drops++
+		}
+		return nil, false
+	}
+	return e.next, true
+}
+
+// resolveNextLink runs the minimal-path search from switch ci to switch di.
+// Within a group the path is the direct intra-group trunk. Across groups
 // the candidates are the group pair's global links; for each, the path is
 // (optional intra hop to the gateway) + global hop + (optional intra hop
 // at the far side), and the shortest live path wins, ties broken by
-// dragonfly port order. ok=false with reason DropLinkDown means every
-// minimal path's entry link is down.
-func (t *Topology) nextLinkLocked(cur, dst *Switch) (*link, DropReason, bool) {
-	ci, di := t.index[cur], t.index[dst]
+// dragonfly port order. next=nil means every minimal path's entry link is
+// down; blame is then the link drops are attributed to.
+func (t *Topology) resolveNextLink(ci, di int) (next, blame *link) {
 	gc, gd := t.groupOf[ci], t.groupOf[di]
 	if gc == gd {
 		l := t.links[LinkID{ci, di}]
 		if l.down {
-			l.stats.Drops++
-			return nil, DropLinkDown, false
+			return nil, l
 		}
-		return l, 0, true
+		return l, nil
 	}
 	var best *link
 	bestHops := int(^uint(0) >> 1)
@@ -83,24 +119,42 @@ func (t *Topology) nextLinkLocked(cur, dst *Switch) (*link, DropReason, bool) {
 		}
 	}
 	if best == nil {
-		// No live minimal path; attribute the loss to the preferred
+		// No live minimal path; attribute each loss to the preferred
 		// global link so hot-link reports show where traffic died.
-		if firstCandidate != nil {
-			firstCandidate.stats.Drops++
-		}
-		return nil, DropLinkDown, false
+		return nil, firstCandidate
 	}
-	return best, 0, true
+	return best, nil
 }
 
-// hopLocked serializes p onto the next link toward dst and schedules its
-// arrival at the far switch. Congestion is modelled per directional link:
-// a packet starts serializing when the link frees up (busy-until), so
-// competing flows queue behind each other exactly as on a real trunk.
-func (t *Topology) hopLocked(cur, dst *Switch, p *Packet) routeVerdict {
-	l, reason, ok := t.nextLinkLocked(cur, dst)
+// trunkHop is the pooled bookkeeping for one packet copy traversing trunk
+// links: the arrival event at each switch on the path reuses the same
+// struct, and it returns to the pool when the packet enters local delivery
+// or is dropped. The pool is package-level (engines in parallel scenario
+// workers share it), which is why it is a sync.Pool rather than a
+// free list on the Topology.
+type trunkHop struct {
+	t   *Topology
+	sw  int // switch index the packet is arriving at
+	dst int // destination edge switch index
+	pkt Packet
+}
+
+var trunkHopPool = sync.Pool{New: func() any { return new(trunkHop) }}
+
+func putTrunkHop(h *trunkHop) {
+	h.t = nil
+	h.pkt = Packet{}
+	trunkHopPool.Put(h)
+}
+
+// hop serializes p onto the next link from switch ci toward switch di and
+// schedules its arrival at the far switch. Congestion is modelled per
+// directional link: a packet starts serializing when the link frees up
+// (busy-until), so competing flows queue behind each other exactly as on a
+// real trunk.
+func (t *Topology) hop(ci, di int, p *Packet) routeVerdict {
+	l, ok := t.nextLink(ci, di)
 	if !ok {
-		_ = reason // always DropLinkDown today
 		return routeLinkDown
 	}
 	now := t.eng.Now()
@@ -115,34 +169,39 @@ func (t *Topology) hopLocked(cur, dst *Switch, p *Packet) routeVerdict {
 	l.stats.Forwarded++
 	l.stats.Bytes += uint64(p.PayloadBytes)
 
-	arrive := end.Add(l.prop)
-	next := t.switches[l.id.To]
-	pkt := *p
-	t.eng.At(arrive, func() { t.arrive(next, dst, &pkt) })
+	h := trunkHopPool.Get().(*trunkHop)
+	h.t, h.sw, h.dst, h.pkt = t, l.id.To, di, *p
+	t.eng.AtCall(end.Add(l.prop), trunkArriveCall, h)
 	return routeForwarded
 }
 
-// arrive lands a packet at a switch on its path. At the destination edge
-// it enters local delivery (egress ACL + port serialization); at an
-// intermediate switch it pays the forwarding latency and takes the next
-// hop, re-resolving the route so links failed or recovered while the
-// packet was in flight take effect.
-func (t *Topology) arrive(sw, dst *Switch, p *Packet) {
-	if sw == dst {
-		sw.InjectFromTrunk(p)
+// trunkArriveCall lands a pooled packet at a switch on its path. At the
+// destination edge it enters local delivery (egress ACL + port
+// serialization); at an intermediate switch it pays the forwarding latency
+// and takes the next hop, re-resolving the route so links failed or
+// recovered while the packet was in flight take effect.
+func trunkArriveCall(a any) {
+	h := a.(*trunkHop)
+	t := h.t
+	if h.sw == h.dst {
+		t.switches[h.dst].InjectFromTrunk(&h.pkt)
+		putTrunkHop(h)
 		return
 	}
-	t.eng.After(t.eng.Jitter(t.cfg.SwitchLatency, t.cfg.JitterFrac), func() {
-		t.mu.Lock()
-		v := t.hopLocked(sw, dst, p)
-		t.mu.Unlock()
-		switch v {
-		case routeLinkDown:
-			sw.dropExternal(p, DropLinkDown)
-		case routeUnknown:
-			sw.dropExternal(p, DropNoRoute)
-		}
-	})
+	t.eng.AfterCall(t.eng.Jitter(t.cfg.SwitchLatency, t.cfg.JitterFrac), trunkForwardCall, h)
+}
+
+// trunkForwardCall takes the next hop after the switch forwarding latency.
+func trunkForwardCall(a any) {
+	h := a.(*trunkHop)
+	t := h.t
+	switch t.hop(h.sw, h.dst, &h.pkt) {
+	case routeLinkDown:
+		t.switches[h.sw].dropExternal(&h.pkt, DropLinkDown)
+	case routeUnknown:
+		t.switches[h.sw].dropExternal(&h.pkt, DropNoRoute)
+	}
+	putTrunkHop(h)
 }
 
 // wireTime returns the serialization time of n bytes at bwBits bits/s.

@@ -1,0 +1,151 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// cacheTopo builds a 2-group, 2-switch-per-group fabric with two attached
+// endpoints on different groups, returning their addresses.
+func cacheTopo(t *testing.T) (*sim.Engine, *Topology, Addr, Addr) {
+	t.Helper()
+	eng := sim.NewEngine(1)
+	topo := NewTopology(eng, DefaultConfig(), TopologySpec{Groups: 2, SwitchesPerGroup: 2, GlobalLinksPerPair: 2})
+	a := topo.Attach(0, &sink{})
+	b := topo.Attach(2, &sink{}) // group 1's first switch
+	for _, addr := range []Addr{a, b} {
+		if err := topo.GrantVNI(addr, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, topo, a, b
+}
+
+// TestRouteCacheSteadyStateHit: after the first packet resolves a route,
+// subsequent packets over the same switch pair reuse the cached entry
+// without re-running the minimal-path search.
+func TestRouteCacheSteadyStateHit(t *testing.T) {
+	eng, topo, a, b := cacheTopo(t)
+	sendOne(eng, topo, a, b, 256)
+	eng.Run()
+	entry := topo.routes[0*len(topo.switches)+2]
+	if entry.epoch != topo.routeEpoch || entry.next == nil {
+		t.Fatalf("route 0->2 not cached after first packet: %+v", entry)
+	}
+	next := entry.next
+	for i := 0; i < 5; i++ {
+		sendOne(eng, topo, a, b, 256)
+		eng.Run()
+	}
+	if got := topo.routes[0*len(topo.switches)+2].next; got != next {
+		t.Error("steady-state packets re-resolved the cached route")
+	}
+}
+
+// TestRouteCacheEpochInvalidation: failing and recovering a trunk bumps the
+// epoch, so cached routes re-resolve — traffic shifts off the dead link and
+// back after recovery.
+func TestRouteCacheEpochInvalidation(t *testing.T) {
+	eng, topo, a, b := cacheTopo(t)
+	sendOne(eng, topo, a, b, 256)
+	eng.Run()
+	before := topo.routeEpoch
+	firstLink := topo.routes[0*len(topo.switches)+2].next
+	if firstLink == nil {
+		t.Fatal("no route resolved")
+	}
+
+	// Fail the preferred global link: epoch bumps, next packet takes the
+	// second global link (still delivered, no drops).
+	if err := topo.SetGlobalLinkDown(0, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if topo.routeEpoch == before {
+		t.Fatal("SetGlobalLinkDown did not bump the route epoch")
+	}
+	sendOne(eng, topo, a, b, 256)
+	eng.Run()
+	rerouted := topo.routes[0*len(topo.switches)+2].next
+	if rerouted == nil || rerouted == firstLink {
+		t.Fatalf("route did not move off the failed link: %v", rerouted)
+	}
+	if drops := topo.TrunkDrops(); drops != 0 {
+		t.Errorf("failover dropped %d packets, want 0", drops)
+	}
+
+	// Recover: epoch bumps again, the preferred link is chosen anew.
+	epochAtFail := topo.routeEpoch
+	if err := topo.SetGlobalLinkDown(0, 1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if topo.routeEpoch == epochAtFail {
+		t.Fatal("recovery did not bump the route epoch")
+	}
+	sendOne(eng, topo, a, b, 256)
+	eng.Run()
+	if got := topo.routes[0*len(topo.switches)+2].next; got != firstLink {
+		t.Errorf("route did not return to the preferred link after recovery")
+	}
+}
+
+// TestRouteCacheDeadRouteChargesDropsPerPacket: a cached no-live-path entry
+// must still increment the blamed link's drop counter once per packet,
+// keeping hot-link reports identical to uncached per-packet resolution.
+func TestRouteCacheDeadRouteChargesDropsPerPacket(t *testing.T) {
+	eng, topo, a, b := cacheTopo(t)
+	if err := topo.SetGlobalLinkDown(0, 1, -1, true); err != nil { // all global links down
+		t.Fatal(err)
+	}
+	const packets = 4
+	for i := 0; i < packets; i++ {
+		sendOne(eng, topo, a, b, 256)
+		eng.Run()
+	}
+	if drops := topo.TrunkDrops(); drops != packets {
+		t.Errorf("TrunkDrops = %d, want %d (one per packet through the cached dead route)", drops, packets)
+	}
+	// All charged to the preferred (first-candidate) global link.
+	ids := topo.GlobalLinks(0, 1)
+	if got := topo.links[ids[0]].stats.Drops; got != packets {
+		t.Errorf("preferred link drops = %d, want %d", got, packets)
+	}
+}
+
+// TestRouteCachePortDownDoesNotInvalidate: port failures are edge-local and
+// invisible to trunk routing, so they must not bump the epoch.
+func TestRouteCachePortDownDoesNotInvalidate(t *testing.T) {
+	_, topo, a, _ := cacheTopo(t)
+	before := topo.routeEpoch
+	if err := topo.SetPortDown(a, true); err != nil {
+		t.Fatal(err)
+	}
+	if topo.routeEpoch != before {
+		t.Error("SetPortDown bumped the route epoch; port state is not trunk state")
+	}
+}
+
+// TestHopReschedulesAfterMidFlightFailure pins the pooled trunk-hop path's
+// interaction with failures: a packet already serialized onto its first hop
+// re-resolves at the intermediate switch and is dropped there (charged to
+// the then-dead segment), exactly as with per-hop re-resolution.
+func TestHopMidFlightFailureStillDrops(t *testing.T) {
+	eng, topo, a, b := cacheTopo(t)
+	sw, _ := topo.SwitchFor(a)
+	l := NewHostLink(eng, sw)
+	eng.After(0, func() {
+		l.Send(&Packet{Src: a, Dst: b, VNI: 5, TC: TCBulkData, PayloadBytes: 64 << 10, Frames: 32, Last: true})
+	})
+	// While the burst serializes, kill every global link.
+	eng.After(time.Microsecond, func() {
+		if err := topo.SetGlobalLinkDown(0, 1, -1, true); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	st := topo.Stats()
+	if st.Drops[DropLinkDown] == 0 && topo.TrunkDrops() == 0 {
+		t.Error("mid-flight failure lost no packets; expected a link_down drop")
+	}
+}

@@ -70,9 +70,11 @@ type port struct {
 
 // Switch is a single Rosetta-style switch. For the two-node OpenCUBE pilot
 // deployment the paper evaluates on, one switch is the whole fabric; larger
-// topologies can chain switches via the Uplink mechanism if needed.
+// topologies assemble switches into a Topology. Like everything in this
+// package, a Switch is confined to its engine's goroutine (see the package
+// documentation for the threading contract), so the forwarding path is
+// lock-free.
 type Switch struct {
-	mu    sync.Mutex
 	eng   *sim.Engine
 	cfg   Config
 	ports map[Addr]*port
@@ -148,20 +150,15 @@ func (s *Switch) Config() Config { return s.cfg }
 // Attach connects a receiver to the switch and assigns it a fabric address.
 func (s *Switch) Attach(r Receiver) Addr {
 	addr := s.addrAlloc.alloc()
-	s.mu.Lock()
 	s.ports[addr] = &port{addr: addr, recv: r, vnis: make(map[VNI]bool)}
-	hook := s.onAttach
-	s.mu.Unlock()
-	if hook != nil {
-		hook(addr, s)
+	if s.onAttach != nil {
+		s.onAttach(addr, s)
 	}
 	return addr
 }
 
 // Detach removes a port. Packets in flight to it are dropped silently.
 func (s *Switch) Detach(addr Addr) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	delete(s.ports, addr)
 }
 
@@ -169,8 +166,6 @@ func (s *Switch) Detach(addr Addr) {
 // programs this into Rosetta; here the CXI driver model calls it when a CXI
 // service activates a VNI on a NIC.
 func (s *Switch) GrantVNI(addr Addr, vni VNI) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	p, ok := s.ports[addr]
 	if !ok {
 		return fmt.Errorf("fabric: grant vni %d: no port %d", vni, addr)
@@ -181,8 +176,6 @@ func (s *Switch) GrantVNI(addr Addr, vni VNI) error {
 
 // RevokeVNI removes a port's authorization for a VNI.
 func (s *Switch) RevokeVNI(addr Addr, vni VNI) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	p, ok := s.ports[addr]
 	if !ok {
 		return fmt.Errorf("fabric: revoke vni %d: no port %d", vni, addr)
@@ -193,16 +186,12 @@ func (s *Switch) RevokeVNI(addr Addr, vni VNI) error {
 
 // HasVNI reports whether the port is authorized for vni.
 func (s *Switch) HasVNI(addr Addr, vni VNI) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	p, ok := s.ports[addr]
 	return ok && p.vnis[vni]
 }
 
 // Stats returns a copy of the forwarding counters.
 func (s *Switch) Stats() SwitchStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := SwitchStats{
 		Forwarded:      s.stats.Forwarded,
 		ForwardedBytes: s.stats.ForwardedBytes,
@@ -215,10 +204,11 @@ func (s *Switch) Stats() SwitchStats {
 	return out
 }
 
-// OnDrop registers an observer for dropped packets.
+// OnDrop registers an observer for dropped packets. The *Packet handed to
+// fn is only valid for the duration of the call (it points into pooled
+// storage, recycled when fn returns); hooks that keep packet data must
+// copy the fields they need.
 func (s *Switch) OnDrop(fn func(p *Packet, r DropReason)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.dropHook = fn
 }
 
@@ -227,8 +217,6 @@ func (s *Switch) OnDrop(fn func(p *Packet, r DropReason)) {
 // leaving the port is dropped with DropLinkDown. The port keeps its address
 // and VNI grants, so recovery is instant.
 func (s *Switch) SetPortDown(addr Addr, down bool) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	p, ok := s.ports[addr]
 	if !ok {
 		return fmt.Errorf("fabric: set port down: no port %d", addr)
@@ -241,8 +229,6 @@ func (s *Switch) SetPortDown(addr Addr, down bool) error {
 // packets crossing groups are dropped with DropPartitioned. Addresses absent
 // from the map are in group 0. A nil map heals the partition.
 func (s *Switch) SetPartition(groups map[Addr]int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if groups == nil {
 		s.partition = nil
 		return
@@ -259,22 +245,40 @@ func (s *Switch) wireTime(bytes int) time.Duration {
 	return wireTime(s.cfg.LinkBandwidthBits, bytes)
 }
 
+// dropNotify is the pooled argument of a deferred drop-hook invocation.
+type dropNotify struct {
+	hook   func(p *Packet, r DropReason)
+	pkt    Packet
+	reason DropReason
+}
+
+var dropNotifyPool = sync.Pool{New: func() any { return new(dropNotify) }}
+
+func dropNotifyCall(a any) {
+	n := a.(*dropNotify)
+	// Hooks observe the packet only for the duration of the call; the
+	// struct returns to the pool afterwards (a re-entrant drop inside the
+	// hook draws a different struct, since this one is not yet returned).
+	n.hook(&n.pkt, n.reason)
+	n.hook = nil
+	n.pkt = Packet{}
+	dropNotifyPool.Put(n)
+}
+
 func (s *Switch) drop(p *Packet, r DropReason) {
 	s.stats.Drops[r]++
 	if s.dropHook != nil {
-		hook := s.dropHook
-		pkt := *p
-		// Run the hook outside the lock via the event loop to avoid
-		// re-entrancy surprises.
-		s.eng.After(0, func() { hook(&pkt, r) })
+		// Run the hook via the event loop to avoid re-entrancy surprises
+		// while the forwarding path is mid-flight.
+		n := dropNotifyPool.Get().(*dropNotify)
+		n.hook, n.pkt, n.reason = s.dropHook, *p, r
+		s.eng.AfterCall(0, dropNotifyCall, n)
 	}
 }
 
 // dropExternal records a drop decided outside the switch's own forwarding
 // path — a topology hop whose trunk link went down mid-flight.
 func (s *Switch) dropExternal(p *Packet, r DropReason) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.drop(p, r)
 }
 
@@ -282,8 +286,6 @@ func (s *Switch) dropExternal(p *Packet, r DropReason) {
 // the ingress ACL was enforced at the source edge, so only the egress ACL
 // and local delivery apply here.
 func (s *Switch) InjectFromTrunk(p *Packet) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	out, ok := s.ports[p.Dst]
 	if !ok {
 		s.drop(p, DropNoRoute)
@@ -297,7 +299,7 @@ func (s *Switch) InjectFromTrunk(p *Packet) {
 		s.drop(p, DropVNIEgress)
 		return
 	}
-	s.deliverLocked(p, out)
+	s.deliver(p, out)
 }
 
 // Inject is called by a NIC when a packet has finished serializing onto its
@@ -305,9 +307,6 @@ func (s *Switch) InjectFromTrunk(p *Packet) {
 // egress link, and delivers to the destination port. Inject must be called
 // from within the simulation event loop.
 func (s *Switch) Inject(p *Packet) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
 	if !p.TC.Valid() {
 		s.drop(p, DropInvalidTC)
 		return
@@ -330,7 +329,7 @@ func (s *Switch) Inject(p *Packet) {
 		// Not local: a topology-member switch forwards over a trunk
 		// toward the owning edge switch (ingress ACL already passed; the
 		// egress ACL is enforced there). remoteRoute only touches
-		// topology and engine state, never this switch's lock.
+		// topology and engine state.
 		if s.remoteRoute != nil {
 			switch s.remoteRoute(p) {
 			case routeForwarded:
@@ -352,12 +351,33 @@ func (s *Switch) Inject(p *Packet) {
 		s.drop(p, DropVNIEgress)
 		return
 	}
-	s.deliverLocked(p, out)
+	s.deliver(p, out)
 }
 
-// deliverLocked serializes the packet onto the egress link and schedules
-// delivery. Caller holds s.mu.
-func (s *Switch) deliverLocked(p *Packet, out *port) {
+// localDeliver is the pooled argument of a final-delivery event: the packet
+// copy rides here instead of in a closure, so local delivery does not
+// allocate.
+type localDeliver struct {
+	recv Receiver
+	pkt  Packet
+}
+
+var localDeliverPool = sync.Pool{New: func() any { return new(localDeliver) }}
+
+func localDeliverCall(a any) {
+	d := a.(*localDeliver)
+	// Receivers do not retain *Packet past ReceivePacket (they copy what
+	// they keep), so the pooled copy is handed over in place and the
+	// struct returns to the pool when the call comes back.
+	d.recv.ReceivePacket(&d.pkt)
+	d.recv = nil
+	d.pkt = Packet{}
+	localDeliverPool.Put(d)
+}
+
+// deliver serializes the packet onto the egress link and schedules
+// delivery.
+func (s *Switch) deliver(p *Packet, out *port) {
 	s.stats.Forwarded++
 	s.stats.ForwardedBytes += uint64(p.PayloadBytes)
 	out.egressBytes[p.TC] += uint64(p.PayloadBytes)
@@ -383,8 +403,7 @@ func (s *Switch) deliverLocked(p *Packet, out *port) {
 	end := start.Add(tx)
 	out.egressAt = end
 
-	arrive := end.Add(s.cfg.PropagationDelay)
-	dst := out.recv
-	pkt := *p
-	s.eng.At(arrive, func() { dst.ReceivePacket(&pkt) })
+	d := localDeliverPool.Get().(*localDeliver)
+	d.recv, d.pkt = out.recv, *p
+	s.eng.AtCall(end.Add(s.cfg.PropagationDelay), localDeliverCall, d)
 }

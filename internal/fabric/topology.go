@@ -2,7 +2,6 @@ package fabric
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/caps-sim/shs-k8s/internal/metrics"
@@ -138,7 +137,6 @@ type LinkInfo struct {
 // checked at the source edge switch, the egress ACL at the destination
 // edge switch; trunks carry all VNIs.
 type Topology struct {
-	mu       sync.Mutex
 	eng      *sim.Engine
 	cfg      Config
 	spec     TopologySpec
@@ -150,6 +148,12 @@ type Topology struct {
 	// globals lists each ordered group pair's global links in dragonfly
 	// port order — the candidate set minimal routing chooses from.
 	globals map[[2]int][]LinkID
+	// routes is the flat (from switch, to switch) next-link cache; entries
+	// are valid while their epoch matches routeEpoch (see routing.go).
+	routes []routeEntry
+	// routeEpoch invalidates the whole route cache when bumped; it starts
+	// at 1 so zero-valued cache entries are never mistaken for valid.
+	routeEpoch uint64
 }
 
 // NewTopology wires a fabric from spec. A 1×1 spec is byte-for-byte the
@@ -167,8 +171,11 @@ func NewTopology(eng *sim.Engine, cfg Config, spec TopologySpec) *Topology {
 		index:   make(map[*Switch]int),
 		links:   make(map[LinkID]*link),
 		globals: make(map[[2]int][]LinkID),
+
+		routeEpoch: 1,
 	}
 	n := spec.Groups * spec.SwitchesPerGroup
+	t.routes = make([]routeEntry, n*n)
 	for i := 0; i < n; i++ {
 		sw := NewSwitch(fmt.Sprintf("rosetta%d", i), eng, cfg)
 		t.index[sw] = i
@@ -261,15 +268,11 @@ func (t *Topology) Attach(i int, r Receiver) Addr {
 // adopt records addr as owned by sw; it runs on every switch attach, so
 // devices attaching through a *Switch directly are routable fabric-wide.
 func (t *Topology) adopt(addr Addr, sw *Switch) {
-	t.mu.Lock()
 	t.owner[addr] = sw
-	t.mu.Unlock()
 }
 
 // SwitchFor returns the edge switch owning addr.
 func (t *Topology) SwitchFor(addr Addr) (*Switch, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	sw, ok := t.owner[addr]
 	return sw, ok
 }
@@ -310,7 +313,8 @@ func (t *Topology) SetPartition(groups map[Addr]int) {
 	}
 }
 
-// OnDrop registers one observer on every switch.
+// OnDrop registers one observer on every switch. As with Switch.OnDrop,
+// the *Packet is valid only for the duration of the callback.
 func (t *Topology) OnDrop(fn func(p *Packet, r DropReason)) {
 	for _, sw := range t.switches {
 		sw.OnDrop(fn)
@@ -318,10 +322,10 @@ func (t *Topology) OnDrop(fn func(p *Packet, r DropReason)) {
 }
 
 // SetTrunkDown fails (or recovers) both directions of the trunk between
-// switches i and j.
+// switches i and j. Every trunk state change — including recovery and the
+// global-link variants, which delegate here — bumps the route epoch, so
+// cached next-link decisions are re-resolved on first use.
 func (t *Topology) SetTrunkDown(i, j int, down bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	a, okA := t.links[LinkID{i, j}]
 	b, okB := t.links[LinkID{j, i}]
 	if !okA || !okB {
@@ -329,14 +333,13 @@ func (t *Topology) SetTrunkDown(i, j int, down bool) error {
 	}
 	a.down = down
 	b.down = down
+	t.routeEpoch++
 	return nil
 }
 
 // GlobalLinks returns the global links from group a to group b in
 // routing-preference order.
 func (t *Topology) GlobalLinks(a, b int) []LinkID {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	return append([]LinkID(nil), t.globals[[2]int{a, b}]...)
 }
 
@@ -380,8 +383,6 @@ func (t *Topology) Stats() SwitchStats {
 // Links returns a snapshot of every directional trunk link, in
 // deterministic (from, to) order.
 func (t *Topology) Links() []LinkInfo {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	now := t.eng.Now()
 	out := make([]LinkInfo, 0, len(t.links))
 	for i := range t.switches {
@@ -429,8 +430,6 @@ func (t *Topology) LinkUtils() []metrics.LinkUtil {
 // TrunkDrops sums link-level drops (packets lost to down trunks) over the
 // whole fabric.
 func (t *Topology) TrunkDrops() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var n uint64
 	for _, l := range t.links {
 		n += l.stats.Drops
@@ -440,8 +439,6 @@ func (t *Topology) TrunkDrops() uint64 {
 
 // GlobalLinkBytes sums payload bytes carried over global links.
 func (t *Topology) GlobalLinkBytes() uint64 {
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	var n uint64
 	for _, l := range t.links {
 		if l.kind == LinkGlobal {

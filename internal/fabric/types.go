@@ -1,14 +1,3 @@
-// Package fabric simulates an HPE Slingshot fabric: Cassini-style NIC ports
-// connected to a Rosetta-style switch over 200 Gbps links, with strict
-// per-packet Virtual Network (VNI) enforcement at the switch and
-// priority-scheduled traffic classes.
-//
-// The simulation is discrete-event (see internal/sim): link serialization,
-// propagation delay and switch forwarding latency are modelled explicitly,
-// so throughput and latency curves emerge from the model rather than being
-// table lookups. VNI filtering happens on the forwarding path exactly where
-// Rosetta enforces it — a packet is routed only if both the ingress and
-// egress ports have been granted the packet's VNI (paper §II-C).
 package fabric
 
 import "fmt"
@@ -109,7 +98,11 @@ func (p *Packet) WireBytes(headerBytes int) int {
 // Receiver consumes packets delivered by the fabric to a port.
 type Receiver interface {
 	// ReceivePacket is invoked in virtual time when the packet fully
-	// arrives at the port.
+	// arrives at the port. The *Packet is only valid for the duration of
+	// the call: it points into pooled delivery storage that is zeroed and
+	// recycled when ReceivePacket returns, so implementations that keep
+	// packet data past the call must copy what they need (every in-tree
+	// receiver already does).
 	ReceivePacket(p *Packet)
 }
 

@@ -1,0 +1,15 @@
+package k8s_test
+
+// Thin wrapper so the canonical scheduler-placement benchmark
+// (internal/perfsuite, also the "SchedulerPlacement" case of the
+// BENCH_*.json trajectory) runs under `go test -bench` here. It drives
+// the public stack API — fleet, control plane, CNI, dragonfly topology —
+// so the name measures exactly what the JSON trajectory records.
+
+import (
+	"testing"
+
+	"github.com/caps-sim/shs-k8s/internal/perfsuite"
+)
+
+func BenchmarkSchedulerPlacement(b *testing.B) { perfsuite.SchedulerPlacement(b) }

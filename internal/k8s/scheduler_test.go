@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"testing"
 	"time"
-
-	"github.com/caps-sim/shs-k8s/internal/sim"
 )
 
 // topoClusterConfig builds a 2-group × groupSize fleet with topology-aware
@@ -147,34 +145,5 @@ func TestSchedulerFlatFleetUnchanged(t *testing.T) {
 	nodes := podNodes(t, c, "t", "flat")
 	if nodes["node0"] != 2 || nodes["node1"] != 2 {
 		t.Errorf("flat spread broken: %v", nodes)
-	}
-}
-
-// BenchmarkSchedulerPlacement measures end-to-end placement throughput on
-// a 64-node, 8-group fleet: submit one pod per iteration and run the
-// cluster until it binds. Placement itself must stay O(nodes).
-func BenchmarkSchedulerPlacement(b *testing.B) {
-	cfg := quietConfig()
-	cfg.NodeNames = nil
-	cfg.Scheduler.NodeGroups = map[string]int{}
-	for i := 0; i < 64; i++ {
-		name := fmt.Sprintf("node%d", i)
-		cfg.NodeNames = append(cfg.NodeNames, name)
-		cfg.Scheduler.NodeGroups[name] = i / 8
-	}
-	cfg.Scheduler.NodeCapacity = 1024
-	eng := sim.NewEngine(1)
-	rt := &fakeRuntime{eng: eng, setupCost: time.Millisecond}
-	c := NewCluster(eng, cfg, func(string) Runtime { return rt })
-	eng.RunFor(time.Second)
-	c.CreateNamespace("bench")
-
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		job := EchoJob("bench", UniqueJobName("place"), nil)
-		job.Spec.Template.RunDuration = time.Hour
-		job.Spec.DeleteAfterFinished = false
-		c.SubmitJob(job)
-		eng.RunFor(100 * time.Millisecond)
 	}
 }

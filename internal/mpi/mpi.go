@@ -21,6 +21,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/caps-sim/shs-k8s/internal/libfabric"
@@ -123,6 +124,32 @@ func (c *Comm) Size() int { return len(c.Ranks) }
 // wire through this communicator.
 func (c *Comm) BytesSent() uint64 { return c.bytes }
 
+// matchArg is the pooled argument of a matched-receive completion event
+// (the MPI call-overhead delay between match and callback), replacing a
+// per-message closure on the receive path.
+type matchArg struct {
+	fn   func(size int)
+	size int
+}
+
+var matchArgPool = sync.Pool{New: func() any { return new(matchArg) }}
+
+func matchCall(a any) {
+	m := a.(*matchArg)
+	fn, size := m.fn, m.size
+	m.fn = nil
+	matchArgPool.Put(m)
+	fn(size)
+}
+
+// completeAfterOverhead schedules fn(size) after the MPI software overhead
+// without allocating a closure.
+func (r *Rank) completeAfterOverhead(fn func(size int), size int) {
+	m := matchArgPool.Get().(*matchArg)
+	m.fn, m.size = fn, size
+	r.eng.AfterCall(CallOverhead, matchCall, m)
+}
+
 // deliver matches an arrived message against the pending receives,
 // completing the earliest posted receive whose source filter accepts it.
 func (r *Rank) deliver(src, size int) {
@@ -131,8 +158,7 @@ func (r *Rank) deliver(src, size int) {
 			continue
 		}
 		r.pending = append(r.pending[:i], r.pending[i+1:]...)
-		fn := p.fn
-		r.eng.After(CallOverhead, func() { fn(size) })
+		r.completeAfterOverhead(p.fn, size)
 		return
 	}
 	r.unexpected = append(r.unexpected, inMsg{src: src, size: size})
@@ -146,14 +172,32 @@ func (r *Rank) SendTo(dst, size int, onComplete func()) {
 	}
 	peer := r.comm.addrs[dst]
 	r.comm.bytes += uint64(size)
-	r.eng.After(CallOverhead, func() {
-		if err := r.dom.Send(peer, size, onComplete); err != nil {
-			// Send only fails on a closed domain — a programming error
-			// (workloads close their gang after the run completes), so
-			// panic rather than stalling silently.
-			panic(err)
-		}
-	})
+	sa := sendToPool.Get().(*sendToArg)
+	sa.r, sa.peer, sa.size, sa.onComplete = r, peer, size, onComplete
+	r.eng.AfterCall(CallOverhead, sendToCall, sa)
+}
+
+// sendToArg is the pooled argument of a send-side call-overhead event.
+type sendToArg struct {
+	r          *Rank
+	peer       libfabric.Addr
+	size       int
+	onComplete func()
+}
+
+var sendToPool = sync.Pool{New: func() any { return new(sendToArg) }}
+
+func sendToCall(a any) {
+	sa := a.(*sendToArg)
+	r, peer, size, onComplete := sa.r, sa.peer, sa.size, sa.onComplete
+	*sa = sendToArg{}
+	sendToPool.Put(sa)
+	if err := r.dom.Send(peer, size, onComplete); err != nil {
+		// Send only fails on a closed domain — a programming error
+		// (workloads close their gang after the run completes), so
+		// panic rather than stalling silently.
+		panic(err)
+	}
 }
 
 // RecvFrom posts a receive matching messages from rank src (or AnySource);
@@ -164,8 +208,7 @@ func (r *Rank) RecvFrom(src int, onMsg func(size int)) {
 			continue
 		}
 		r.unexpected = append(r.unexpected[:i], r.unexpected[i+1:]...)
-		size := m.size
-		r.eng.After(CallOverhead, func() { onMsg(size) })
+		r.completeAfterOverhead(onMsg, m.size)
 		return
 	}
 	r.pending = append(r.pending, postedRecv{src: src, fn: onMsg})

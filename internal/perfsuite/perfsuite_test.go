@@ -1,0 +1,72 @@
+package perfsuite
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSuiteNamesUniqueAndStable: the JSON trajectory diffs across PRs by
+// case name, so names must be unique and the anchor cases must exist.
+func TestSuiteNamesUniqueAndStable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Suite() {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Bench == nil {
+			t.Errorf("case %q has no benchmark body", c.Name)
+		}
+	}
+	for _, want := range []string{
+		"Engine_Schedule", "Engine_CancelHeavy",
+		"Fabric_Groups1", "Fabric_Groups4", "Fabric_Groups16",
+		"Collectives", "SchedulerPlacement",
+	} {
+		if !seen[want] {
+			t.Errorf("trajectory anchor case %q missing from suite", want)
+		}
+	}
+}
+
+// TestWriteJSONShape pins the BENCH_*.json schema consumers rely on.
+func TestWriteJSONShape(t *testing.T) {
+	results := []Result{
+		{Name: "a", Ops: 10, NsPerOp: 1.5, BytesPerOp: 8, AllocsPerOp: 1, SimEventsPerSec: 100},
+		{Name: "b", Ops: 3, NsPerOp: 2, Extra: map[string]float64{"worst_spill_x": 4.2}},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "test-suite", results); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if rep.Suite != "test-suite" || rep.GoVersion == "" || len(rep.Cases) != 2 {
+		t.Errorf("unexpected report header: %+v", rep)
+	}
+	if rep.Cases[0].SimEventsPerSec != 100 || rep.Cases[1].Extra["worst_spill_x"] != 4.2 {
+		t.Errorf("metrics lost in round trip: %+v", rep.Cases)
+	}
+	for _, key := range []string{"ns_per_op", "allocs_per_op", "bytes_per_op", "sim_events_per_sec"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Errorf("JSON missing %q field", key)
+		}
+	}
+}
+
+// TestRenderTableListsEveryCase: the printed twin must carry one row per
+// result.
+func TestRenderTableListsEveryCase(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable(&buf, []Result{{Name: "x"}, {Name: "y", SimEventsPerSec: 5}})
+	out := buf.String()
+	for _, name := range []string{"x", "y"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("table missing row for %q:\n%s", name, out)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package sim_test
+
+// Thin wrappers so the canonical event-core benchmarks (internal/perfsuite)
+// run under `go test -bench` here; `shsbench -exp perf` runs the same
+// bodies and writes them to BENCH_*.json.
+
+import (
+	"testing"
+
+	"github.com/caps-sim/shs-k8s/internal/perfsuite"
+)
+
+func BenchmarkEngine_Schedule(b *testing.B)    { perfsuite.EngineSchedule(b) }
+func BenchmarkEngine_CancelHeavy(b *testing.B) { perfsuite.EngineCancelHeavy(b) }

@@ -1,64 +1,91 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// Event is a scheduled callback in virtual time.
+// Event is a cancellable handle to a scheduled callback. It is a small
+// value (engine pointer, arena slot, generation): the event's storage lives
+// in the engine's pooled arena and is reused after the event fires or is
+// cancelled, so per-event scheduling performs no heap allocation. The
+// generation check makes a stale handle — one whose slot has since been
+// recycled for a different event — a guaranteed no-op, so holding handles
+// past firing is always safe.
+//
+// The zero Event is valid and inert: Cancel and At on it do nothing.
 type Event struct {
-	at     Time
-	seq    uint64 // tiebreaker: FIFO among events at the same instant
-	fn     func()
-	index  int // heap index; -1 when not queued
-	cancel bool
+	eng *Engine
+	idx int32
+	gen uint32
 }
 
-// Cancel marks the event so its callback will not run. Safe to call at most
-// once, before or after the event fires (firing a cancelled event is a
-// no-op; cancelling a fired event is a no-op).
-func (e *Event) Cancel() { e.cancel = true }
-
-// At returns the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Cancel removes the event from the queue so its callback will not run. It
+// is idempotent and safe at any time: cancelling a fired, already-cancelled
+// or recycled event is a no-op. Removal is eager (the slot is freed and the
+// heap shrinks immediately), so heavy cancellation leaves no tombstones for
+// the dispatch loop to skim.
+func (h Event) Cancel() {
+	e := h.eng
+	if e == nil {
+		return
 	}
-	return q[i].seq < q[j].seq
+	ev := &e.arena[h.idx]
+	if ev.gen != h.gen || ev.pos < 0 {
+		return // fired, cancelled, or slot recycled since
+	}
+	e.heapRemove(int(ev.pos))
+	e.live--
+	e.release(h.idx)
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+
+// At returns the virtual time the event is scheduled for, or zero once the
+// event has fired or been cancelled (the handle is then stale).
+func (h Event) At() Time {
+	e := h.eng
+	if e == nil {
+		return 0
+	}
+	ev := &e.arena[h.idx]
+	if ev.gen != h.gen || ev.pos < 0 {
+		return 0
+	}
+	return ev.at
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// event is one arena slot. Slots are addressed by index so the backing
+// array can grow without invalidating handles, and carry a generation
+// bumped on every release so stale handles cannot alias a reused slot.
+type event struct {
+	at  Time
+	seq uint64 // tiebreaker: FIFO among events at the same instant
+	// Exactly one of fn/afn is set. afn+arg is the closure-free form used
+	// by hot paths (see AtCall): a shared top-level function plus a pooled
+	// argument, so scheduling captures nothing.
+	fn  func()
+	afn func(any)
+	arg any
+	pos int32 // position in the heap; -1 when not queued
+	gen uint32
 }
 
 // Engine is a single-threaded discrete-event simulator. It is not safe for
 // concurrent use; simulated concurrency is expressed by scheduling events,
 // not by goroutines, which keeps runs deterministic.
+//
+// Event storage is a pooled arena: fired and cancelled events return their
+// slot to a free list, so a steady-state simulation schedules events with
+// zero heap allocations regardless of length. The priority queue is a
+// hand-rolled binary heap of arena indexes — no interface boxing on
+// push/pop — ordered by (time, sequence), so events at the same instant
+// run in FIFO order exactly as they always have.
 type Engine struct {
 	now   Time
-	queue eventQueue
+	arena []event
+	free  []int32 // recycled arena slots, LIFO
+	heap  []int32 // binary heap of queued slots, ordered by (at, seq)
 	seq   uint64
+	live  int // queued events; Pending() reads this in O(1)
 	rng   *rand.Rand
 	// Steps counts executed events, useful as a runaway guard in tests.
 	Steps uint64
@@ -75,41 +102,99 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic randomness source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it always indicates a logic error in a simulated component.
-func (e *Engine) At(t Time, fn func()) *Event {
+// alloc returns a free arena slot, growing the arena when the free list is
+// empty. Growth moves the backing array, which is why all bookkeeping works
+// through indexes, never retained pointers.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		idx := e.free[n-1]
+		e.free = e.free[:n-1]
+		return idx
+	}
+	e.arena = append(e.arena, event{gen: 1})
+	return int32(len(e.arena) - 1)
+}
+
+// release returns a slot to the free list, clearing callback references so
+// captured memory is not retained and bumping the generation so any handle
+// still pointing here goes stale.
+func (e *Engine) release(idx int32) {
+	ev := &e.arena[idx]
+	ev.fn, ev.afn, ev.arg = nil, nil, nil
+	ev.pos = -1
+	ev.gen++
+	e.free = append(e.free, idx)
+}
+
+func (e *Engine) schedule(t Time, fn func(), afn func(any), arg any) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	idx := e.alloc()
+	ev := &e.arena[idx]
+	ev.at, ev.seq = t, e.seq
+	ev.fn, ev.afn, ev.arg = fn, afn, arg
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.heapPush(idx)
+	e.live++
+	return Event{eng: e, idx: idx, gen: ev.gen}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a logic error in a simulated component.
+func (e *Engine) At(t Time, fn func()) Event {
+	return e.schedule(t, fn, nil, nil)
 }
 
 // After schedules fn to run d after the current time. Negative d is clamped
 // to zero so jittered delays cannot travel backwards.
-func (e *Engine) After(d Duration, fn func()) *Event {
+func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
-	return e.At(e.now.Add(d), fn)
+	return e.schedule(e.now.Add(d), fn, nil, nil)
+}
+
+// AtCall schedules fn(arg) at absolute virtual time t. Unlike At, the
+// callback and its argument are stored separately, so hot paths can pass a
+// shared top-level function plus a pooled argument struct and schedule
+// without allocating a closure. This is the packet-delivery primitive: the
+// fabric, NIC and MPI layers route all per-packet/per-message events
+// through it.
+func (e *Engine) AtCall(t Time, fn func(arg any), arg any) Event {
+	return e.schedule(t, nil, fn, arg)
+}
+
+// AfterCall is AtCall relative to the current time, with the same negative
+// clamping as After.
+func (e *Engine) AfterCall(d Duration, fn func(arg any), arg any) Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.schedule(e.now.Add(d), nil, fn, arg)
 }
 
 // Step executes the next pending event, advancing the clock to its time.
 // It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancel {
-			continue
-		}
-		e.now = ev.at
-		e.Steps++
-		ev.fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	idx := e.heapPop()
+	ev := &e.arena[idx]
+	// Copy out before releasing: the callback may schedule (growing the
+	// arena and invalidating ev) or immediately reuse this very slot.
+	at, fn, afn, arg := ev.at, ev.fn, ev.afn, ev.arg
+	e.live--
+	e.release(idx)
+	e.now = at
+	e.Steps++
+	if fn != nil {
+		fn()
+	} else if afn != nil {
+		afn(arg)
+	}
+	return true
 }
 
 // Run executes events until the queue drains.
@@ -122,11 +207,7 @@ func (e *Engine) Run() {
 // exactly deadline (even if no event was scheduled there). Events scheduled
 // later remain queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for e.queue.Len() > 0 {
-		next := e.peek()
-		if next.at > deadline {
-			break
-		}
+	for len(e.heap) > 0 && e.arena[e.heap[0]].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -144,8 +225,7 @@ func (e *Engine) RunFor(d Duration) { e.RunUntil(e.now.Add(d)) }
 // wait_-style actions.
 func (e *Engine) RunUntilDone(cond func() bool, deadline Time) bool {
 	for !cond() {
-		next := e.peek()
-		if next == nil || next.at > deadline {
+		if len(e.heap) == 0 || e.arena[e.heap[0]].at > deadline {
 			break
 		}
 		e.Step()
@@ -159,28 +239,91 @@ func (e *Engine) RunUntilDone(cond func() bool, deadline Time) bool {
 	return cond()
 }
 
-// Pending returns the number of queued (non-cancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.cancel {
-			n++
-		}
+// Pending returns the number of queued events. Cancelled events leave the
+// queue immediately, so this is a live count, maintained in O(1).
+func (e *Engine) Pending() int { return e.live }
+
+// --- binary heap of arena indexes ---
+//
+// A hand-rolled heap instead of container/heap: Push/Pop on the interface
+// version box every element into an `any`, which is exactly the per-event
+// allocation this engine exists to avoid. Ordering is (at, seq), identical
+// to the original implementation, so dispatch order is bit-for-bit
+// unchanged.
+
+func (e *Engine) heapLess(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
 	}
-	return n
+	return ea.seq < eb.seq
 }
 
-func (e *Engine) peek() *Event {
-	// Skip cancelled heads lazily.
-	for e.queue.Len() > 0 {
-		head := e.queue[0]
-		if head.cancel {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return head
+func (e *Engine) heapSwap(i, j int) {
+	h := e.heap
+	h[i], h[j] = h[j], h[i]
+	e.arena[h[i]].pos = int32(i)
+	e.arena[h[j]].pos = int32(j)
+}
+
+func (e *Engine) heapPush(idx int32) {
+	e.arena[idx].pos = int32(len(e.heap))
+	e.heap = append(e.heap, idx)
+	e.siftUp(len(e.heap) - 1)
+}
+
+func (e *Engine) heapPop() int32 {
+	idx := e.heap[0]
+	last := len(e.heap) - 1
+	e.heapSwap(0, last)
+	e.heap = e.heap[:last]
+	if last > 0 {
+		e.siftDown(0)
 	}
-	return nil
+	return idx
+}
+
+// heapRemove deletes the element at heap position i (used by Cancel).
+func (e *Engine) heapRemove(i int) {
+	last := len(e.heap) - 1
+	if i != last {
+		e.heapSwap(i, last)
+	}
+	e.heap = e.heap[:last]
+	if i < last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.heapLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heapSwap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e.heapLess(e.heap[r], e.heap[l]) {
+			m = r
+		}
+		if !e.heapLess(e.heap[m], e.heap[i]) {
+			break
+		}
+		e.heapSwap(i, m)
+		i = m
+	}
 }
 
 // Jitter returns a duration drawn uniformly from [d*(1-frac), d*(1+frac)].
