@@ -31,6 +31,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/caps-sim/shs-k8s/internal/fuzz"
 	"github.com/caps-sim/shs-k8s/internal/scenario"
 )
 
@@ -49,6 +50,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdValidate(args[1:], stdout, stderr)
 	case "list":
 		return cmdList(args[1:], stdout, stderr)
+	case "fuzz":
+		return cmdFuzz(args[1:], stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
@@ -64,6 +67,8 @@ func usage(w io.Writer) {
   shssim run [-v] [-workers N] [-seed N] [-repeat N] <file-or-dir> [...]
   shssim validate <file> [...]
   shssim list [dir]
+  shssim fuzz [-n N] [-seed N] [-corpus dir] [-v]
+  shssim fuzz -replay <file> [...]
 `)
 }
 
@@ -213,6 +218,58 @@ func printResult(w io.Writer, file string, res *scenario.Result, verbose bool) {
 		verdict = "FAIL"
 	}
 	fmt.Fprintf(w, "--- %s %s (simulated %s)\n", verdict, res.Scenario.Name, res.SimTime)
+}
+
+// cmdFuzz runs a randomized-scenario campaign under the invariant harness
+// (internal/fuzz): N generated specs, each executed twice with per-event
+// integrity and routing-oracle checks plus end-of-run conservation,
+// stuck-work and determinism oracles. Violations are shrunk to minimal
+// reproducers and written under -corpus as replayable scenario files;
+// -replay re-runs such a file (or any scenario) under the same battery.
+func cmdFuzz(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 200, "number of generated scenarios to execute")
+	seed := fs.Int64("seed", 1, "generator seed; spec i is a pure function of (seed, i)")
+	corpus := fs.String("corpus", "scenarios/fuzz-corpus", "directory for shrunk reproducers (\"\" disables writing)")
+	replay := fs.String("replay", "", "replay one scenario file under the invariant harness instead of generating")
+	verbose := fs.Bool("v", false, "print one line per executed spec")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *replay != "" {
+		files := append([]string{*replay}, fs.Args()...)
+		bad := 0
+		for _, f := range files {
+			violations, err := fuzz.Replay(f, stdout)
+			if err != nil {
+				fmt.Fprintf(stderr, "shssim: %v\n", err)
+				return 1
+			}
+			if len(violations) > 0 {
+				bad++
+			}
+		}
+		if bad > 0 {
+			return 1
+		}
+		return 0
+	}
+	findings, err := fuzz.Run(fuzz.Options{
+		N: *n, Seed: *seed, Corpus: *corpus, Verbose: *verbose, Out: stdout,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "shssim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "\n%d spec(s) executed, %d invariant finding(s)\n", *n, len(findings))
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
 }
 
 func cmdValidate(args []string, stdout, stderr io.Writer) int {

@@ -1,0 +1,96 @@
+package fabric
+
+import (
+	"testing"
+
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// FuzzRouting drives the epoch-cached routing layer directly: fuzzed bytes
+// pick a dragonfly shape and a sequence of trunk/global-link state flips
+// interleaved with nextLink queries (which populate the cache), and after
+// every operation the differential oracle VerifyRoutes must agree that no
+// cached next-hop diverges from a fresh resolution. This is the in-vitro
+// counterpart of fuzz.FuzzScenarioEngine's whole-engine oracle — it reaches
+// cache/epoch interleavings no scenario schedule produces.
+func FuzzRouting(f *testing.F) {
+	f.Add([]byte{2, 2, 1, 0, 1, 2, 3})
+	f.Add([]byte{3, 3, 2, 9, 4, 17, 2, 255, 0, 8})
+	f.Add([]byte{1, 2, 1, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		spec := TopologySpec{
+			Groups:             1 + int(data[0])%3,
+			SwitchesPerGroup:   1 + int(data[1])%3,
+			GlobalLinksPerPair: 1 + int(data[2]),
+		}
+		if spec.GlobalLinksPerPair > spec.SwitchesPerGroup {
+			spec.GlobalLinksPerPair = spec.SwitchesPerGroup
+		}
+		eng := sim.NewEngine(1)
+		topo := NewTopology(eng, testConfig(), spec)
+		n := len(topo.Switches())
+
+		check := func(op string) {
+			t.Helper()
+			if err := topo.VerifyRoutes(); err != nil {
+				t.Fatalf("after %s: %v", op, err)
+			}
+		}
+		check("construction")
+		for i := 3; i+2 < len(data); i += 3 {
+			a, b := int(data[i+1])%n, int(data[i+2])%n
+			if a == b { // nextLink is only defined across distinct switches
+				continue
+			}
+			switch data[i] % 4 {
+			case 0: // populate the cache
+				topo.nextLink(a, b)
+			case 1: // cut then query: stale entries must not be served
+				topo.SetTrunkDown(a, b, true) // error (no such trunk) is fine
+				topo.nextLink(a, b)
+			case 2: // restore
+				topo.SetTrunkDown(a, b, false)
+				topo.nextLink(b, a)
+			case 3: // flip one global link between the switches' groups
+				ga, gb := topo.GroupOf(a), topo.GroupOf(b)
+				if ga != gb {
+					down := data[i+1]&1 == 0
+					topo.SetGlobalLinkDown(ga, gb, int(data[i+2])%spec.GlobalLinksPerPair, down)
+				}
+				topo.nextLink(a, b)
+			}
+			check("op")
+		}
+		// Leave nothing down for the final full sweep, then re-verify.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a != b {
+					topo.SetTrunkDown(a, b, false)
+				}
+			}
+		}
+		for ga := 0; ga < spec.Groups; ga++ {
+			for gb := 0; gb < spec.Groups; gb++ {
+				if ga != gb {
+					for k := 0; k < spec.GlobalLinksPerPair; k++ {
+						topo.SetGlobalLinkDown(ga, gb, k, false)
+					}
+				}
+			}
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				if next, ok := topo.nextLink(a, b); !ok || next == nil {
+					t.Fatalf("healthy fabric: no route %d -> %d", a, b)
+				}
+			}
+		}
+		check("final sweep")
+	})
+}

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"fmt"
 	"sync"
 	"time"
 )
@@ -36,6 +37,29 @@ type routeEntry struct {
 	blame *link
 }
 
+// debugFreezeRouteCache, when true, makes cacheValid accept any populated
+// entry regardless of epoch — deliberately reintroducing the stale-cache
+// bug class the route epoch exists to prevent. It exists solely so the
+// fuzz harness (internal/fuzz) can prove its differential routing oracle
+// detects that class: tests flip it on, watch VerifyRoutes fail, and flip
+// it back off. Nothing in production paths sets it.
+var debugFreezeRouteCache bool
+
+// SetDebugFreezeRouteCache toggles the injected stale-route-cache bug used
+// by the fuzz harness's oracle self-test. Callers must restore false.
+func SetDebugFreezeRouteCache(v bool) { debugFreezeRouteCache = v }
+
+// cacheValid reports whether nextLink may serve the cached entry without
+// re-resolving. This single predicate is shared with VerifyRoutes, so the
+// oracle audits exactly the decisions the hot path would serve — including
+// under the injected debugFreezeRouteCache bug.
+func (t *Topology) cacheValid(e *routeEntry) bool {
+	if debugFreezeRouteCache {
+		return e.epoch != 0 // bug: any populated entry passes, however stale
+	}
+	return e.epoch == t.routeEpoch
+}
+
 // routeFrom builds the remoteRoute callback for one edge switch. The
 // callback is invoked from Switch.Inject on the engine goroutine; it
 // touches only topology and engine state.
@@ -58,7 +82,7 @@ func (t *Topology) routeFrom(sw *Switch) func(p *Packet) routeVerdict {
 // counters match uncached resolution exactly.
 func (t *Topology) nextLink(ci, di int) (*link, bool) {
 	e := &t.routes[ci*len(t.switches)+di]
-	if e.epoch != t.routeEpoch {
+	if !t.cacheValid(e) {
 		e.next, e.blame = t.resolveNextLink(ci, di)
 		e.epoch = t.routeEpoch
 	}
@@ -207,4 +231,43 @@ func trunkForwardCall(a any) {
 // wireTime returns the serialization time of n bytes at bwBits bits/s.
 func wireTime(bwBits float64, bytes int) time.Duration {
 	return time.Duration(float64(bytes*8) / bwBits * float64(time.Second))
+}
+
+// VerifyRoutes is the differential routing oracle: for every switch pair
+// whose cache entry the hot path would currently serve (same validity
+// predicate as nextLink), it re-runs the minimal-path search from scratch
+// and reports the first divergence in either the chosen next link or the
+// blamed link. A healthy epoch scheme can never diverge — any topology
+// change bumps routeEpoch, invalidating the entry before it is served — so
+// a non-nil return means a stale-cache bug. The fuzz harness calls this
+// after every scenario event and at end of run; it is O(switches²) and
+// mutates nothing.
+func (t *Topology) VerifyRoutes() error {
+	n := len(t.switches)
+	for ci := 0; ci < n; ci++ {
+		for di := 0; di < n; di++ {
+			if ci == di {
+				continue
+			}
+			e := &t.routes[ci*n+di]
+			if e.epoch == 0 || !t.cacheValid(e) {
+				continue // never populated, or due for re-resolution anyway
+			}
+			next, blame := t.resolveNextLink(ci, di)
+			if e.next != next || (e.next == nil && e.blame != blame) {
+				return fmt.Errorf(
+					"fabric: route cache diverges from fresh resolution for switch %d -> %d: cached next %s, fresh next %s (cache epoch %d, topology epoch %d)",
+					ci, di, linkName(e.next), linkName(next), e.epoch, t.routeEpoch)
+			}
+		}
+	}
+	return nil
+}
+
+// linkName renders a link for oracle diagnostics.
+func linkName(l *link) string {
+	if l == nil {
+		return "<none>"
+	}
+	return fmt.Sprintf("%d->%d(%s)", l.id.From, l.id.To, l.kind)
 }

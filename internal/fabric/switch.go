@@ -48,11 +48,31 @@ func DefaultConfig() Config {
 
 // SwitchStats counts forwarding outcomes; all counters are cumulative.
 type SwitchStats struct {
+	// Injected counts packets entering the fabric at this switch from host
+	// ports (Inject calls); packets arriving over trunks are not re-counted.
+	// Together with Forwarded and Drops it closes the conservation equation
+	// the fuzz harness checks: once the event queue drains, every injected
+	// packet was either delivered or dropped, nowhere lost, nowhere doubled.
+	Injected uint64
+	// InjectedBytes is the payload volume behind Injected.
+	InjectedBytes  uint64
 	Forwarded      uint64
 	ForwardedBytes uint64
 	// TrunkForwarded counts packets handed to another switch in a mesh.
 	TrunkForwarded uint64
 	Drops          map[DropReason]uint64
+	// DroppedBytes is the payload volume behind all Drops, so conservation
+	// holds for bytes as well as packets.
+	DroppedBytes uint64
+}
+
+// DropTotal sums the per-reason drop counters.
+func (st *SwitchStats) DropTotal() uint64 {
+	var n uint64
+	for _, v := range st.Drops {
+		n += v
+	}
+	return n
 }
 
 // port is one switch port with an attached device and an egress serializer.
@@ -193,10 +213,13 @@ func (s *Switch) HasVNI(addr Addr, vni VNI) bool {
 // Stats returns a copy of the forwarding counters.
 func (s *Switch) Stats() SwitchStats {
 	out := SwitchStats{
+		Injected:       s.stats.Injected,
+		InjectedBytes:  s.stats.InjectedBytes,
 		Forwarded:      s.stats.Forwarded,
 		ForwardedBytes: s.stats.ForwardedBytes,
 		TrunkForwarded: s.stats.TrunkForwarded,
 		Drops:          make(map[DropReason]uint64, len(s.stats.Drops)),
+		DroppedBytes:   s.stats.DroppedBytes,
 	}
 	for k, v := range s.stats.Drops {
 		out.Drops[k] = v
@@ -267,6 +290,7 @@ func dropNotifyCall(a any) {
 
 func (s *Switch) drop(p *Packet, r DropReason) {
 	s.stats.Drops[r]++
+	s.stats.DroppedBytes += uint64(p.PayloadBytes)
 	if s.dropHook != nil {
 		// Run the hook via the event loop to avoid re-entrancy surprises
 		// while the forwarding path is mid-flight.
@@ -307,6 +331,8 @@ func (s *Switch) InjectFromTrunk(p *Packet) {
 // egress link, and delivers to the destination port. Inject must be called
 // from within the simulation event loop.
 func (s *Switch) Inject(p *Packet) {
+	s.stats.Injected++
+	s.stats.InjectedBytes += uint64(p.PayloadBytes)
 	if !p.TC.Valid() {
 		s.drop(p, DropInvalidTC)
 		return

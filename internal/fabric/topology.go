@@ -370,9 +370,12 @@ func (t *Topology) Stats() SwitchStats {
 	out := SwitchStats{Drops: make(map[DropReason]uint64)}
 	for _, sw := range t.switches {
 		st := sw.Stats()
+		out.Injected += st.Injected
+		out.InjectedBytes += st.InjectedBytes
 		out.Forwarded += st.Forwarded
 		out.ForwardedBytes += st.ForwardedBytes
 		out.TrunkForwarded += st.TrunkForwarded
+		out.DroppedBytes += st.DroppedBytes
 		for r, n := range st.Drops {
 			out.Drops[r] += n
 		}

@@ -1,0 +1,38 @@
+// Package fuzz mass-produces randomized-but-valid scenarios, runs them
+// through the real scenario engine, and checks a library of invariants the
+// simulator must uphold on every input — not just on the hand-written
+// scenarios under scenarios/. It is the repo's answer to the coverage
+// ceiling of example-based tests: the eleven bundled scenarios exercise
+// eleven paths; the fuzzer exercises as many as the clock allows, and any
+// failure it finds arrives as a minimal replayable YAML file.
+//
+// The pipeline is Generate -> Execute -> Shrink:
+//
+//   - Generate (gen.go) draws a scenario.Scenario from a seeded PRNG. The
+//     output is constrained to be semantically valid — faults are always
+//     paired with recoveries before traffic, jobs that back pingpong or
+//     collectives have at least two pods and a VNI, probes only run when
+//     every tenant holds a VNI — so any invariant violation indicts the
+//     engine, not the input.
+//
+//   - Execute (harness.go) runs the spec through scenario.RunHooked,
+//     checking event-arena integrity and the differential routing oracle
+//     after every event, then drains the event queue and checks packet and
+//     byte conservation, stuck work, and end-state invariants
+//     (invariants.go). The spec is then run a second time and both runs'
+//     fingerprints — virtual clock, logs, assertion actuals, per-switch and
+//     per-link counters, VNI pool occupancy — must match exactly
+//     (determinism oracle).
+//
+//   - Shrink (shrink.go) greedily minimizes a violating spec: drop events,
+//     drop assertions, drop tenants, shrink the fleet and topology, halve
+//     byte counts — keeping each reduction only if the same-named violation
+//     persists — and the fixpoint is written under scenarios/fuzz-corpus/
+//     as a plain scenario file anyone can replay with `shssim run` or
+//     `shssim fuzz -replay`.
+//
+// `shssim fuzz -n N -seed S` (cmd/shssim) is the command-line front end;
+// FuzzScenarioEngine and FuzzRouting (fuzz_test.go) plug the same harness
+// into `go test -fuzz`. docs/fuzzing.md documents the generator's knobs,
+// the invariant catalog, and the shrink/replay workflow.
+package fuzz

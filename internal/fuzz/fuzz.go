@@ -1,0 +1,126 @@
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"github.com/caps-sim/shs-k8s/internal/scenario"
+)
+
+// DefaultShrinkBudget caps Execute calls per shrink; greedy reduction on
+// generator-sized specs converges in far fewer.
+const DefaultShrinkBudget = 300
+
+// Options configures one fuzzing campaign.
+type Options struct {
+	// N is the number of specs to generate and execute.
+	N int
+	// Seed seeds the generator stream; the i-th spec is a pure function of
+	// (Seed, i), so findings are reproducible by seed and index.
+	Seed int64
+	// Corpus is the directory shrunk reproducers are written to
+	// ("" disables writing).
+	Corpus string
+	// ShrinkBudget caps Execute calls per shrink (0 = DefaultShrinkBudget).
+	ShrinkBudget int
+	// Verbose prints one line per executed spec to Out.
+	Verbose bool
+	// Out receives progress and findings (nil = io.Discard).
+	Out io.Writer
+	// Config bounds the generator (zero value = DefaultConfig).
+	Config Config
+}
+
+// Finding is one invariant violation discovered during a campaign.
+type Finding struct {
+	// Index is the campaign iteration that produced the spec.
+	Index int
+	// Violations are the original report's violations.
+	Violations []Violation
+	// Spec is the shrunk minimal reproducer.
+	Spec *scenario.Scenario
+	// Path is the written reproducer file ("" when no corpus dir was set).
+	Path string
+}
+
+// Run executes a fuzzing campaign: N generated specs through the invariant
+// harness, each violation shrunk to a minimal spec and written to the
+// corpus directory as replayable YAML. It returns every finding; a non-nil
+// error means the campaign itself failed (corpus not writable), not that
+// invariants broke.
+func Run(opts Options) ([]Finding, error) {
+	out := opts.Out
+	if out == nil {
+		out = io.Discard
+	}
+	cfg := opts.Config
+	if cfg == (Config{}) {
+		cfg = DefaultConfig()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var findings []Finding
+	for i := 0; i < opts.N; i++ {
+		spec := Generate(rng, cfg)
+		rep := Execute(spec)
+		if len(rep.Violations) == 0 {
+			if opts.Verbose {
+				fmt.Fprintf(out, "ok   %4d %s (seed %d)\n", i, spec.Name, spec.Seed)
+			}
+			continue
+		}
+		v := rep.Violations[0]
+		fmt.Fprintf(out, "FAIL %4d %s (seed %d): %s\n", i, spec.Name, spec.Seed, v)
+		shrunk := Shrink(spec, v.Name, opts.ShrinkBudget)
+		f := Finding{Index: i, Violations: rep.Violations, Spec: shrunk}
+		if opts.Corpus != "" {
+			path, err := WriteReproducer(opts.Corpus, shrunk, v, i)
+			if err != nil {
+				return findings, err
+			}
+			f.Path = path
+			fmt.Fprintf(out, "     reproducer: %s (%d events, %d assertions)\n",
+				path, len(shrunk.Events), len(shrunk.Assertions))
+		}
+		findings = append(findings, f)
+	}
+	return findings, nil
+}
+
+// WriteReproducer emits the shrunk spec as a replayable scenario file under
+// dir, named after the violation and campaign index, with the violation
+// recorded in the description so the file is self-explaining.
+func WriteReproducer(dir string, sc *scenario.Scenario, v Violation, index int) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	cp := Clone(sc)
+	cp.Name = fmt.Sprintf("repro-%s-%d", v.Name, index)
+	cp.Description = "fuzz reproducer: " + v.String()
+	path := filepath.Join(dir, cp.Name+".yaml")
+	if err := os.WriteFile(path, scenario.EmitYAML(cp), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Replay parses a reproducer file and re-runs it under the full invariant
+// battery, printing the outcome to out. It returns the violations found
+// (nil when the file now runs clean).
+func Replay(path string, out io.Writer) ([]Violation, error) {
+	sc, err := scenario.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := Execute(sc)
+	if len(rep.Violations) == 0 {
+		fmt.Fprintf(out, "ok   %s: all invariants hold\n", path)
+		return nil, nil
+	}
+	for _, v := range rep.Violations {
+		fmt.Fprintf(out, "FAIL %s: %s\n", path, v)
+	}
+	return rep.Violations, nil
+}

@@ -1,0 +1,114 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"github.com/caps-sim/shs-k8s/internal/stack"
+)
+
+// Violation is one broken invariant. Name is a stable identifier the
+// shrinker matches on (a reduction is kept only if the same-named violation
+// persists); Detail is the human-readable diagnosis.
+type Violation struct {
+	Name   string
+	Detail string
+}
+
+// String renders the violation for reports and reproducer headers.
+func (v Violation) String() string { return v.Name + ": " + v.Detail }
+
+// Violation names.
+const (
+	// VioSimIntegrity: the event arena broke its structural invariants
+	// (leaked slots, heap order, back-pointers, or a queued event in the
+	// past — the monotonic-clock check).
+	VioSimIntegrity = "sim_integrity"
+	// VioRouting: the epoch-cached route table diverged from fresh
+	// uncached resolution (the differential routing oracle).
+	VioRouting = "routing_oracle"
+	// VioConservation: injected packets or bytes were lost or duplicated
+	// somewhere in the fabric (checked per switch and fabric-wide after
+	// the event queue drained).
+	VioConservation = "conservation"
+	// VioStuck: the event queue did not drain within the step budget —
+	// something reschedules itself forever or a collective never
+	// completes.
+	VioStuck = "stuck"
+	// VioRunError: the scenario engine reported an execution error on a
+	// spec the generator guarantees is executable.
+	VioRunError = "run_error"
+	// VioAssertion: a generated assertion failed; the generator only
+	// emits assertions its construction guarantees.
+	VioAssertion = "assertion_failed"
+	// VioNondeterminism: two runs of the same spec at the same seed
+	// produced different fingerprints.
+	VioNondeterminism = "nondeterminism"
+)
+
+// checkSim wraps the engine's structural self-check (event-arena handle
+// accounting, heap order, monotonic clock) into a Violation.
+func checkSim(st *stack.Stack) *Violation {
+	if err := st.Eng.CheckIntegrity(); err != nil {
+		return &Violation{Name: VioSimIntegrity, Detail: err.Error()}
+	}
+	return nil
+}
+
+// checkRouting runs the differential routing oracle: every cache entry the
+// hot path would serve is compared against a from-scratch minimal-path
+// resolution.
+func checkRouting(st *stack.Stack) *Violation {
+	if err := st.Topo.VerifyRoutes(); err != nil {
+		return &Violation{Name: VioRouting, Detail: err.Error()}
+	}
+	return nil
+}
+
+// checkConservation verifies that no packet or byte was lost or duplicated:
+// with the event queue drained, everything injected at a host port was
+// either delivered at a host port or dropped with a counted reason —
+// fabric-wide, and as a flow balance at every switch (host injections plus
+// trunk arrivals equal deliveries plus trunk departures plus drops). It
+// must only run on a drained queue; packets still in flight are neither
+// delivered nor dropped yet.
+func checkConservation(st *stack.Stack) *Violation {
+	topo := st.Topo
+	total := topo.Stats()
+	if total.Injected != total.Forwarded+total.DropTotal() {
+		return &Violation{Name: VioConservation, Detail: fmt.Sprintf(
+			"fabric-wide packet leak: injected %d != delivered %d + dropped %d",
+			total.Injected, total.Forwarded, total.DropTotal())}
+	}
+	if total.InjectedBytes != total.ForwardedBytes+total.DroppedBytes {
+		return &Violation{Name: VioConservation, Detail: fmt.Sprintf(
+			"fabric-wide byte leak: injected %d != delivered %d + dropped %d",
+			total.InjectedBytes, total.ForwardedBytes, total.DroppedBytes)}
+	}
+
+	// Per-switch flow balance over the trunk links.
+	n := len(topo.Switches())
+	inPkts := make([]uint64, n)
+	inBytes := make([]uint64, n)
+	outPkts := make([]uint64, n)
+	outBytes := make([]uint64, n)
+	for _, l := range topo.Links() {
+		outPkts[l.ID.From] += l.Stats.Forwarded
+		outBytes[l.ID.From] += l.Stats.Bytes
+		inPkts[l.ID.To] += l.Stats.Forwarded
+		inBytes[l.ID.To] += l.Stats.Bytes
+	}
+	for i, sw := range topo.Switches() {
+		s := sw.Stats()
+		if s.Injected+inPkts[i] != s.Forwarded+outPkts[i]+s.DropTotal() {
+			return &Violation{Name: VioConservation, Detail: fmt.Sprintf(
+				"switch %d packet flow imbalance: injected %d + trunk-in %d != delivered %d + trunk-out %d + dropped %d",
+				i, s.Injected, inPkts[i], s.Forwarded, outPkts[i], s.DropTotal())}
+		}
+		if s.InjectedBytes+inBytes[i] != s.ForwardedBytes+outBytes[i]+s.DroppedBytes {
+			return &Violation{Name: VioConservation, Detail: fmt.Sprintf(
+				"switch %d byte flow imbalance: injected %d + trunk-in %d != delivered %d + trunk-out %d + dropped %d",
+				i, s.InjectedBytes, inBytes[i], s.ForwardedBytes, outBytes[i], s.DroppedBytes)}
+		}
+	}
+	return nil
+}

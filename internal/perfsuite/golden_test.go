@@ -1,0 +1,49 @@
+package perfsuite
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the WriteJSON golden file")
+
+// TestWriteJSONGolden locks the exact BENCH_*.json serialization — field
+// order, indentation, omitempty behavior — against a checked-in golden
+// file, so any schema drift shows up as a reviewable diff instead of a
+// silently broken trajectory parser. The one environment-dependent field,
+// go_version, is normalized to a placeholder before comparison; regenerate
+// with `go test ./internal/perfsuite -run TestWriteJSONGolden -update`.
+func TestWriteJSONGolden(t *testing.T) {
+	results := []Result{
+		{Name: "Engine_Schedule", Ops: 1000000, NsPerOp: 52.5, BytesPerOp: 0, AllocsPerOp: 0, SimEventsPerSec: 19047619},
+		{Name: "Collectives", Ops: 64, NsPerOp: 1250000, BytesPerOp: 4096, AllocsPerOp: 12,
+			Extra: map[string]float64{"worst_spill_x": 4.2}},
+		{Name: "SchedulerPlacement", Ops: 2048, NsPerOp: 310.25},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, "golden-suite", results); err != nil {
+		t.Fatal(err)
+	}
+	got := bytes.ReplaceAll(buf.Bytes(), []byte(runtime.Version()), []byte("GOVERSION"))
+
+	golden := filepath.Join("testdata", "write_json.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("WriteJSON output drifted from golden file %s\n--- got\n%s\n--- want\n%s", golden, got, want)
+	}
+}

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// stripPositions zeroes everything Parse derives from source layout (file
+// path and line anchors) so two parses of semantically identical YAML
+// compare equal regardless of formatting.
+func stripPositions(sc *Scenario) {
+	sc.Path = ""
+	for i := range sc.Traffic {
+		sc.Traffic[i].Line = 0
+	}
+	for i := range sc.Events {
+		sc.Events[i].Line = 0
+	}
+	for i := range sc.Assertions {
+		sc.Assertions[i].Line = 0
+	}
+}
+
+// TestEmitYAMLRoundTripsBundledScenarios is the emitter's contract test:
+// every bundled scenario must survive Parse -> EmitYAML -> Parse with a
+// deeply equal result (up to source positions). This is what makes fuzz
+// reproducers trustworthy — the file written to scenarios/fuzz-corpus/
+// replays exactly the spec that violated an invariant.
+func TestEmitYAMLRoundTripsBundledScenarios(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 10 {
+		t.Fatalf("expected the bundled scenario suite, found %d files", len(files))
+	}
+	for _, f := range files {
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			orig, err := ParseFile(f)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			emitted := EmitYAML(orig)
+			back, err := Parse(bytes.NewReader(emitted))
+			if err != nil {
+				t.Fatalf("re-parse of emitted YAML: %v\n%s", err, emitted)
+			}
+			stripPositions(orig)
+			stripPositions(back)
+			if !reflect.DeepEqual(orig, back) {
+				t.Errorf("round trip diverged\noriginal: %+v\nreparsed: %+v\nemitted:\n%s", orig, back, emitted)
+			}
+		})
+	}
+}
+
+// TestEmitYAMLIsStable pins idempotence: emitting the re-parsed scenario
+// reproduces the same bytes, so a reproducer file rewritten by tooling
+// never churns in version control.
+func TestEmitYAMLIsStable(t *testing.T) {
+	files, err := filepath.Glob("../../scenarios/*.yaml")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("glob: %v (%d files)", err, len(files))
+	}
+	for _, f := range files {
+		sc, err := ParseFile(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		first := EmitYAML(sc)
+		back, err := Parse(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v", f, err)
+		}
+		if second := EmitYAML(back); !bytes.Equal(first, second) {
+			t.Errorf("%s: emit not stable:\n--- first\n%s\n--- second\n%s", f, first, second)
+		}
+	}
+}

@@ -24,20 +24,24 @@ type AssertionResult struct {
 	Assertion Assertion
 	Actual    float64
 	Pass      bool
+	// Where anchors the assertion to its source ("file.yaml:12"), so a
+	// failure — above all in a shrunk fuzz reproducer — names the exact
+	// line to read, not just the probed metric.
+	Where string
 }
 
-// String renders the check the way `shssim run` prints it.
+// String renders the check the way `shssim run` prints it. Failures carry
+// the source anchor so reproducer output is self-diagnosing.
 func (ar AssertionResult) String() string {
-	status := "PASS"
-	if !ar.Pass {
-		status = "FAIL"
-	}
 	a := ar.Assertion
 	subject := a.Type
 	if a.Target != "" {
 		subject += "(" + a.Target + ")"
 	}
-	return fmt.Sprintf("%s: %s %s %s (actual %s)", status, subject, a.Op, a.Value, formatActual(ar.Actual))
+	if ar.Pass {
+		return fmt.Sprintf("PASS: %s %s %s (actual %s)", subject, a.Op, a.Value, formatActual(ar.Actual))
+	}
+	return fmt.Sprintf("FAIL: %s %s %s (actual %s) at %s", subject, a.Op, a.Value, formatActual(ar.Actual), ar.Where)
 }
 
 func formatActual(f float64) string {
@@ -77,7 +81,24 @@ func (r *Result) Passed() bool {
 // Run executes the scenario to completion on a fresh simulated deployment
 // and evaluates its assertions. Runs are deterministic: the same file and
 // seed produce identical results.
-func Run(sc *Scenario) (res *Result) {
+func Run(sc *Scenario) *Result { return RunHooked(sc, Hooks{}) }
+
+// Hooks lets an external harness observe a run from inside: the scenario
+// fuzzer (internal/fuzz) uses them to check invariants against the live
+// stack after every event and to fingerprint end state for its
+// determinism oracle. Both hooks are optional.
+type Hooks struct {
+	// AfterEvent runs after each event executes successfully, with the
+	// stack live and the virtual clock at the event's completion time. A
+	// non-nil error aborts the run, anchored to the event's line.
+	AfterEvent func(st *stack.Stack, ev *Event) error
+	// AfterRun runs once after assertions are evaluated, before the
+	// Result is returned, with the stack still live.
+	AfterRun func(st *stack.Stack, res *Result)
+}
+
+// RunHooked is Run with observation hooks wired in.
+func RunHooked(sc *Scenario, hooks Hooks) (res *Result) {
 	r := &runner{sc: sc, res: &Result{Scenario: sc}, completed: map[string]bool{},
 		submitted: map[string]string{}, traffic: map[string]workload.Report{}}
 	// The named return is assigned up front so a recovered panic in an
@@ -100,10 +121,19 @@ func Run(sc *Scenario) (res *Result) {
 			r.res.Err = sc.errAt(ev.Line, "%s: %v", ev.Action, err)
 			return r.res
 		}
+		if hooks.AfterEvent != nil {
+			if err := hooks.AfterEvent(r.st, ev); err != nil {
+				r.res.Err = sc.errAt(ev.Line, "after %s: %v", ev.Action, err)
+				return r.res
+			}
+		}
 	}
 	r.res.SimTime = r.st.Eng.Now()
 	for _, a := range sc.Assertions {
 		r.res.Asserts = append(r.res.Asserts, r.evaluate(a))
+	}
+	if hooks.AfterRun != nil {
+		hooks.AfterRun(r.st, r.res)
 	}
 	return r.res
 }
@@ -678,7 +708,16 @@ func (r *runner) runTraffic(ev *Event) error {
 func (r *runner) evaluate(a Assertion) AssertionResult {
 	expected, _ := parseExpected(a.Value) // validated at parse time
 	actual := r.actual(a)
-	return AssertionResult{Assertion: a, Actual: actual, Pass: compareOps[a.Op](actual, expected)}
+	where := r.sc.Path
+	if where == "" {
+		where = "scenario"
+	}
+	return AssertionResult{
+		Assertion: a,
+		Actual:    actual,
+		Pass:      compareOps[a.Op](actual, expected),
+		Where:     fmt.Sprintf("%s:%d", where, a.Line),
+	}
 }
 
 func (r *runner) actual(a Assertion) float64 {

@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFailingAssertionReportsFileAndLine pins the failure-report anchor: a
+// failing assertion parsed from a file must print "at <path>:<line>" with
+// the assertion's own source line, so a CI log points straight at the YAML
+// row to fix. Passing assertions stay quiet about their origin.
+func TestFailingAssertionReportsFileAndLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "anchored.yaml")
+	src := minimal + `assertions:
+  - type: vnis_allocated
+    value: 0
+  - type: pods_running
+    target: a
+    op: ">="
+    value: 99
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(sc)
+	if res.Err != nil {
+		t.Fatalf("unexpected run error: %v", res.Err)
+	}
+	if res.Passed() {
+		t.Fatal("want the pods_running assertion to fail")
+	}
+	if len(res.Asserts) != 2 {
+		t.Fatalf("asserts = %+v", res.Asserts)
+	}
+	// The failing assertion's "- type" dash sits on physical line 13 of the
+	// composed file (minimal is 9 significant lines behind a leading blank).
+	failing := res.Asserts[1]
+	if failing.Pass {
+		t.Fatalf("expected second assertion to fail: %+v", failing)
+	}
+	wantAnchor := fmt.Sprintf("%s:%d", path, failing.Assertion.Line)
+	if failing.Where != wantAnchor {
+		t.Errorf("Where = %q, want %q", failing.Where, wantAnchor)
+	}
+	s := failing.String()
+	if !strings.Contains(s, "at "+wantAnchor) {
+		t.Errorf("failure report %q does not carry the source anchor %q", s, wantAnchor)
+	}
+	if !strings.Contains(s, "FAIL") {
+		t.Errorf("failure report %q lacks the FAIL marker", s)
+	}
+	// Sanity: the anchor's line number really is the assertion's dash row.
+	rows := strings.Split(src, "\n")
+	if got := strings.TrimSpace(rows[failing.Assertion.Line-1]); !strings.HasPrefix(got, "- type: pods_running") {
+		t.Errorf("anchor line %d is %q, not the failing assertion", failing.Assertion.Line, got)
+	}
+	// The passing assertion should not render as a failure.
+	if s := res.Asserts[0].String(); strings.Contains(s, "FAIL") {
+		t.Errorf("passing assertion rendered as failure: %q", s)
+	}
+}
+
+// TestFailingAssertionFromReaderUsesPlaceholder checks specs parsed from a
+// reader (no file on disk) still get a usable anchor.
+func TestFailingAssertionFromReaderUsesPlaceholder(t *testing.T) {
+	res := Run(mustParse(t, minimal+`assertions:
+  - type: vnis_allocated
+    value: 99
+`))
+	if res.Passed() || len(res.Asserts) != 1 {
+		t.Fatalf("want one failing assertion, got %+v", res.Asserts)
+	}
+	where := res.Asserts[0].Where
+	if !strings.HasPrefix(where, "scenario:") {
+		t.Errorf("Where = %q, want scenario:<line> placeholder", where)
+	}
+}

@@ -85,7 +85,7 @@ func parseTree(r io.Reader) (*value, error) {
 		for indent < len(raw) && raw[indent] == ' ' {
 			indent++
 		}
-		if strings.ContainsRune(raw[:indent], '\t') {
+		if indent < len(raw) && raw[indent] == '\t' {
 			return nil, fmt.Errorf("%w: line %d: tabs are not allowed in indentation", ErrSyntax, lineNo)
 		}
 		lines = append(lines, rawLine{indent: indent, text: trimmed, line: lineNo})

@@ -1,0 +1,69 @@
+package sim
+
+import "fmt"
+
+// CheckIntegrity audits the engine's internal bookkeeping and returns the
+// first inconsistency found, or nil. It verifies the structural invariants
+// the pooled arena and hand-rolled heap rely on:
+//
+//   - the live counter (what Pending reports) equals the heap size;
+//   - every heap entry points at an arena slot whose recorded position
+//     matches its heap index (the Cancel fast path depends on this);
+//   - no queued event is scheduled before the current virtual time, so the
+//     clock can only move forward;
+//   - the heap order property holds at every node;
+//   - every free-list slot is marked unqueued (pos == -1) and appears once;
+//   - heap and free list partition the arena exactly — no slot is both
+//     queued and free, none is leaked.
+//
+// The walk is O(arena), so it is meant for harnesses (the scenario fuzzer
+// runs it after every event and at end of run), not for per-event use.
+func (e *Engine) CheckIntegrity() error {
+	if e.live != len(e.heap) {
+		return fmt.Errorf("sim: integrity: live counter %d != queued events %d", e.live, len(e.heap))
+	}
+	inHeap := make(map[int32]int, len(e.heap))
+	for i, idx := range e.heap {
+		if idx < 0 || int(idx) >= len(e.arena) {
+			return fmt.Errorf("sim: integrity: heap[%d] holds out-of-range slot %d (arena %d)", i, idx, len(e.arena))
+		}
+		if prev, dup := inHeap[idx]; dup {
+			return fmt.Errorf("sim: integrity: slot %d queued twice (heap[%d] and heap[%d])", idx, prev, i)
+		}
+		inHeap[idx] = i
+		ev := &e.arena[idx]
+		if ev.pos != int32(i) {
+			return fmt.Errorf("sim: integrity: slot %d at heap[%d] records pos %d", idx, i, ev.pos)
+		}
+		if ev.at < e.now {
+			return fmt.Errorf("sim: integrity: queued event at %v is before now %v (clock would run backwards)", ev.at, e.now)
+		}
+		if i > 0 {
+			parent := e.heap[(i-1)/2]
+			if e.heapLess(idx, parent) {
+				return fmt.Errorf("sim: integrity: heap order violated at index %d (slot %d sorts before its parent %d)", i, idx, parent)
+			}
+		}
+	}
+	inFree := make(map[int32]bool, len(e.free))
+	for _, idx := range e.free {
+		if idx < 0 || int(idx) >= len(e.arena) {
+			return fmt.Errorf("sim: integrity: free list holds out-of-range slot %d (arena %d)", idx, len(e.arena))
+		}
+		if inFree[idx] {
+			return fmt.Errorf("sim: integrity: slot %d freed twice", idx)
+		}
+		inFree[idx] = true
+		if _, queued := inHeap[idx]; queued {
+			return fmt.Errorf("sim: integrity: slot %d is both queued and free", idx)
+		}
+		if e.arena[idx].pos != -1 {
+			return fmt.Errorf("sim: integrity: free slot %d still records heap pos %d", idx, e.arena[idx].pos)
+		}
+	}
+	if len(e.heap)+len(e.free) != len(e.arena) {
+		return fmt.Errorf("sim: integrity: %d slot(s) leaked (arena %d, queued %d, free %d)",
+			len(e.arena)-len(e.heap)-len(e.free), len(e.arena), len(e.heap), len(e.free))
+	}
+	return nil
+}
