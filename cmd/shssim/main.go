@@ -10,6 +10,7 @@
 //	shssim run <file-or-dir> [...]   run scenarios; non-zero exit on failure
 //	shssim validate <file> [...]     check scenario files without running
 //	shssim list [dir]                list scenarios with their descriptions
+//	shssim interactive [flags]       drive a live fleet from a command prompt
 //
 // Flags for run: -v (print the event narration), -workers N (parallel
 // scenario runs for directories; results print in deterministic order),
@@ -31,6 +32,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/caps-sim/shs-k8s/internal/ctl"
 	"github.com/caps-sim/shs-k8s/internal/fuzz"
 	"github.com/caps-sim/shs-k8s/internal/scenario"
 )
@@ -52,6 +54,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdList(args[1:], stdout, stderr)
 	case "fuzz":
 		return cmdFuzz(args[1:], stdout, stderr)
+	case "interactive":
+		return cmdInteractive(args[1:], os.Stdin, stdout, stderr)
 	case "-h", "--help", "help":
 		usage(stdout)
 		return 0
@@ -69,6 +73,7 @@ func usage(w io.Writer) {
   shssim list [dir]
   shssim fuzz [-n N] [-seed N] [-corpus dir] [-v]
   shssim fuzz -replay <file> [...]
+  shssim interactive [-scenario file] [-seed N] [-sample-every D] [-stdin | -socket path]
 `)
 }
 
@@ -307,13 +312,75 @@ func cmdList(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "shssim: %v\n", err)
 		return 1
 	}
+	bad := 0
 	for _, f := range files {
 		sc, err := scenario.ParseFile(f)
 		if err != nil {
-			fmt.Fprintf(stdout, "%-28s %s (INVALID: %v)\n", "?", f, err)
+			fmt.Fprintf(stderr, "shssim: invalid scenario: %v\n", err)
+			bad++
 			continue
 		}
 		fmt.Fprintf(stdout, "%-28s %-40s %s\n", sc.Name, f, sc.Description)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}
+
+// cmdInteractive boots a fleet paused on the virtual clock and serves the
+// operator protocol (internal/ctl) on stdin or a Unix socket. The
+// scenario file contributes its fleet/topology/traffic/telemetry
+// sections; its event timeline is ignored — the operator is the timeline.
+func cmdInteractive(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("interactive", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenarioPath := fs.String("scenario", "", "scenario file supplying the fleet (default: built-in 2-group fleet)")
+	seed := fs.Int64("seed", 0, "override the scenario seed (0 = use the scenario's)")
+	sampleEvery := fs.Duration("sample-every", 0, "enable telemetry sampling at this virtual period")
+	useStdin := fs.Bool("stdin", false, "serve the session on stdin/stdout (the default; kept for scripts)")
+	socket := fs.String("socket", "", "serve sessions on a Unix socket at this path instead of stdin")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "shssim interactive: unexpected argument %q\n", fs.Arg(0))
+		return 2
+	}
+	if *useStdin && *socket != "" {
+		fmt.Fprintln(stderr, "shssim interactive: -stdin and -socket are mutually exclusive")
+		return 2
+	}
+	sc := ctl.DefaultScenario()
+	if *scenarioPath != "" {
+		var err error
+		if sc, err = scenario.ParseFile(*scenarioPath); err != nil {
+			fmt.Fprintf(stderr, "shssim: %v\n", err)
+			return 1
+		}
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *sampleEvery > 0 {
+		sc.Telemetry.SampleEvery = *sampleEvery
+	}
+	srv, err := ctl.New(sc)
+	if err != nil {
+		fmt.Fprintf(stderr, "shssim: %v\n", err)
+		return 1
+	}
+	if *socket != "" {
+		err = srv.ServeSocket(*socket)
+	} else {
+		err = srv.Serve(stdin, stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "shssim: %v\n", err)
+		return 1
 	}
 	return 0
 }

@@ -158,6 +158,69 @@ func TestListBundledScenarios(t *testing.T) {
 	}
 }
 
+// TestListReportsInvalidFiles: list must not swallow parse failures — an
+// invalid scenario in the directory goes to stderr and flips the exit
+// code, while valid files still list normally.
+func TestListReportsInvalidFiles(t *testing.T) {
+	dir := t.TempDir()
+	good := "name: fine\nevents:\n  - at: 0s\n    action: start_fleet\n"
+	if err := os.WriteFile(filepath.Join(dir, "good.yaml"), []byte(good), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.yaml"), []byte("name: [\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"list", dir}, &out, &errb); code != 1 {
+		t.Errorf("list with an invalid file exited %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "fine") {
+		t.Errorf("valid scenario missing from listing:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "broken.yaml") {
+		t.Errorf("stderr does not name the invalid file: %s", errb.String())
+	}
+	if strings.Contains(out.String(), "broken") {
+		t.Errorf("invalid file leaked into stdout listing:\n%s", out.String())
+	}
+}
+
+// TestInteractiveScriptedSession drives `shssim interactive -stdin` the
+// way CI does: a scripted session against the built-in fleet, twice, with
+// byte-identical transcripts.
+func TestInteractiveScriptedSession(t *testing.T) {
+	script := "nodes\nfail-link 0 1 0\nlinks -top 2\nstep 100ms\nquit\n"
+	transcripts := make([]string, 2)
+	for i := range transcripts {
+		var out, errb bytes.Buffer
+		code := cmdInteractive([]string{"-stdin"}, strings.NewReader(script), &out, &errb)
+		if code != 0 {
+			t.Fatalf("interactive exited %d: %s", code, errb.String())
+		}
+		transcripts[i] = out.String()
+	}
+	if transcripts[0] != transcripts[1] {
+		t.Errorf("replayed sessions differ:\n--- 1:\n%s\n--- 2:\n%s", transcripts[0], transcripts[1])
+	}
+	for _, want := range []string{"shssim> nodes", "node7", "DOWN", "bye"} {
+		if !strings.Contains(transcripts[0], want) {
+			t.Errorf("transcript missing %q:\n%s", want, transcripts[0])
+		}
+	}
+}
+
+func TestInteractiveRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := cmdInteractive([]string{"-stdin", "-socket", "/tmp/x.sock"},
+		strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("conflicting modes exited %d, want 2", code)
+	}
+	if code := cmdInteractive([]string{"-scenario", "does-not-exist.yaml"},
+		strings.NewReader(""), &out, &errb); code != 1 {
+		t.Errorf("missing scenario file exited %d, want 1", code)
+	}
+}
+
 func TestUnknownCommand(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"frobnicate"}, &out, &errb); code != 2 {

@@ -167,6 +167,16 @@ func NewSwitch(name string, eng *sim.Engine, cfg Config) *Switch {
 // Config returns the switch's physical configuration.
 func (s *Switch) Config() Config { return s.cfg }
 
+// Name returns the switch's name ("rosetta3" in a topology).
+func (s *Switch) Name() string { return s.name }
+
+// PortDown reports whether the port is administratively down; false for
+// unknown addresses.
+func (s *Switch) PortDown(addr Addr) bool {
+	p, ok := s.ports[addr]
+	return ok && p.down
+}
+
 // Attach connects a receiver to the switch and assigns it a fabric address.
 func (s *Switch) Attach(r Receiver) Addr {
 	addr := s.addrAlloc.alloc()

@@ -304,6 +304,13 @@ func (t *Topology) SetPortDown(addr Addr, down bool) error {
 	return sw.SetPortDown(addr, down)
 }
 
+// PortDown reports whether addr's port is administratively down; false
+// for unknown addresses.
+func (t *Topology) PortDown(addr Addr) bool {
+	sw, ok := t.SwitchFor(addr)
+	return ok && sw.PortDown(addr)
+}
+
 // SetPartition applies one partition map fabric-wide. The check runs at
 // the source edge switch (where ingress ACLs run), so the same map must
 // be visible on every switch.

@@ -65,6 +65,10 @@ type Kubelet struct {
 	// livePods tracks pods with sandboxes, so deletions trigger teardown
 	// exactly once.
 	livePods map[string]*Pod
+	// exitTimers holds each running container's pending exit event, so
+	// killing a pod cancels the timer instead of leaving a stale no-op
+	// event on the engine until the original RunDuration elapses.
+	exitTimers map[string]sim.Event
 }
 
 // NewKubelet creates and starts the node agent for node.
@@ -72,7 +76,8 @@ func NewKubelet(cli *Client, cfg KubeletConfig, node string, rt Runtime) *Kubele
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
-	k := &Kubelet{cli: cli, cfg: cfg, node: node, rt: rt, livePods: make(map[string]*Pod)}
+	k := &Kubelet{cli: cli, cfg: cfg, node: node, rt: rt,
+		livePods: make(map[string]*Pod), exitTimers: make(map[string]sim.Event)}
 	cli.Watch(KindPod, WatchOptions{Selector: func(obj Object) bool {
 		return obj.(*Pod).Spec.NodeName == node
 	}}, func(ev Event) {
@@ -88,6 +93,10 @@ func NewKubelet(cli *Client, cfg KubeletConfig, node string, rt Runtime) *Kubele
 		case EventDeleted:
 			if live, ok := k.livePods[pod.Meta.Key()]; ok {
 				delete(k.livePods, pod.Meta.Key())
+				if ev, armed := k.exitTimers[pod.Meta.Key()]; armed {
+					ev.Cancel()
+					delete(k.exitTimers, pod.Meta.Key())
+				}
 				k.submit(func(done func()) { k.teardownPod(live, done) })
 			}
 		}
@@ -139,8 +148,10 @@ func (k *Kubelet) startPod(pod *Pod, done func()) {
 				})
 				// Container main process: runs for RunDuration, then
 				// exits successfully. The worker slot is released at
-				// start — the kubelet does not block on user code.
-				eng.After(eng.Jitter(pod.Spec.RunDuration, k.cfg.Jitter)+k.jit(k.cfg.StatusLag), func() {
+				// start — the kubelet does not block on user code. The
+				// timer is cancelled if the pod is deleted first.
+				k.exitTimers[pod.Meta.Key()] = eng.After(eng.Jitter(pod.Spec.RunDuration, k.cfg.Jitter)+k.jit(k.cfg.StatusLag), func() {
+					delete(k.exitTimers, pod.Meta.Key())
 					k.setPhase(pod, PodSucceeded, "")
 				})
 				done()

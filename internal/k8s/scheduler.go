@@ -2,6 +2,7 @@ package k8s
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/caps-sim/shs-k8s/internal/sim"
@@ -63,6 +64,9 @@ type Scheduler struct {
 	// jobGroup counts each job's committed pods per topology group, the
 	// signal behind group co-location. Keyed by "namespace/job-name".
 	jobGroup map[string]map[int]int
+	// cordoned marks nodes an operator took out of scheduling (kubectl
+	// cordon); running pods stay, new placements skip the node.
+	cordoned map[string]bool
 }
 
 // assumedBinding is one not-yet-confirmed placement: the node it went to
@@ -82,10 +86,32 @@ func NewScheduler(cli *Client, cfg SchedulerConfig, nodes []string) *Scheduler {
 		bound:    make(map[string]string),
 		assumed:  make(map[string]assumedBinding),
 		jobGroup: make(map[string]map[int]int),
+		cordoned: make(map[string]bool),
 	}
 	cli.Watch(KindPod, WatchOptions{}, s.onPod)
 	return s
 }
+
+// SetCordon marks a node unschedulable (true) or schedulable again
+// (false). Pods already bound there are untouched; pending pods simply
+// stop considering the node. Cordoning every node parks the queue: pods
+// retry until a node is uncordoned.
+func (s *Scheduler) SetCordon(node string, cordoned bool) error {
+	for _, n := range s.nodes {
+		if n == node {
+			if cordoned {
+				s.cordoned[node] = true
+			} else {
+				delete(s.cordoned, node)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("k8s: cordon: unknown node %q", node)
+}
+
+// Cordoned reports whether the node is currently cordoned.
+func (s *Scheduler) Cordoned(node string) bool { return s.cordoned[node] }
 
 // onPod folds one pod event into the per-node counts and enqueues fresh
 // pending pods.
@@ -290,9 +316,13 @@ func (s *Scheduler) pickNode(pod *Pod) string {
 			load:     l,
 		}
 	}
-	best, bestScore := s.nodes[0], scoreOf(s.nodes[0])
-	for _, n := range s.nodes[1:] {
-		if sc := scoreOf(n); better(sc, bestScore) {
+	var best string
+	var bestScore score
+	for _, n := range s.nodes {
+		if s.cordoned[n] {
+			continue
+		}
+		if sc := scoreOf(n); best == "" || better(sc, bestScore) {
 			best, bestScore = n, sc
 		}
 	}

@@ -51,6 +51,16 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile over input that is already sorted: no
+// copy, no re-sort. Summarize leans on it so its five percentile reads
+// share the one sort it already paid for.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -93,11 +103,11 @@ func Summarize(xs []float64) Summary {
 		Std:  StdDev(xs),
 		Min:  sorted[0],
 		Max:  sorted[len(sorted)-1],
-		P10:  Percentile(sorted, 10),
-		P50:  Percentile(sorted, 50),
-		P90:  Percentile(sorted, 90),
-		Q1:   Percentile(sorted, 25),
-		Q3:   Percentile(sorted, 75),
+		P10:  percentileSorted(sorted, 10),
+		P50:  percentileSorted(sorted, 50),
+		P90:  percentileSorted(sorted, 90),
+		Q1:   percentileSorted(sorted, 25),
+		Q3:   percentileSorted(sorted, 75),
 	}
 	iqr := s.Q3 - s.Q1
 	s.WhiskLo, s.WhiskHi = s.Min, s.Max

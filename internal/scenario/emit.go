@@ -119,6 +119,17 @@ func EmitYAML(sc *Scenario) []byte {
 		}
 	}
 
+	if sc.Telemetry.Enabled() {
+		b.WriteString("\ntelemetry:\n")
+		kv(2, "sampleEvery", sc.Telemetry.SampleEvery.String())
+		if sc.Telemetry.Sink != "" {
+			kv(2, "sink", sc.Telemetry.Sink)
+		}
+		if sc.Telemetry.Capacity > 0 {
+			kv(2, "capacity", strconv.Itoa(sc.Telemetry.Capacity))
+		}
+	}
+
 	b.WriteString("\nevents:\n")
 	for i := range sc.Events {
 		ev := &sc.Events[i]

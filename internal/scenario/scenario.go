@@ -106,6 +106,27 @@ func (t TrafficSpec) Workload() workload.Spec {
 	}
 }
 
+// TelemetrySpec is the telemetry: section: when SampleEvery is set, the
+// run attaches a virtual-clock sampler (internal/telemetry) at fleet boot
+// and — when Sink names a file — writes the collected series as JSONL
+// after the run. The zero value disables telemetry entirely, preserving
+// the zero-cost-when-unused contract.
+type TelemetrySpec struct {
+	// SampleEvery is the sampling period on the virtual clock (> 0
+	// enables telemetry).
+	SampleEvery sim.Duration
+	// Sink is the JSONL output path ("" keeps the series in memory for
+	// telemetry_* assertions only). Relative paths resolve against the
+	// working directory, as any CLI output path does.
+	Sink string
+	// Capacity bounds the sample ring (0 = telemetry.DefaultCapacity);
+	// when full, the oldest samples are overwritten.
+	Capacity int
+}
+
+// Enabled reports whether the scenario samples telemetry.
+func (t TelemetrySpec) Enabled() bool { return t.SampleEvery > 0 }
+
 // Assertion is one end-state check evaluated after all events ran.
 type Assertion struct {
 	// Type names the probed quantity (vnis_allocated, jobs_completed,
@@ -135,7 +156,10 @@ type Scenario struct {
 	Topology fabric.TopologySpec
 	// Traffic holds the named communication workloads run_traffic events
 	// execute.
-	Traffic    []TrafficSpec
+	Traffic []TrafficSpec
+	// Telemetry configures the time-series sampler; the zero value means
+	// no sampling.
+	Telemetry  TelemetrySpec
 	Events     []Event
 	Assertions []Assertion
 	// Path is the source file, "" when parsed from a reader.
@@ -221,6 +245,10 @@ func (sc *Scenario) decode(root *value) error {
 			}
 		case "traffic":
 			if err := sc.decodeTraffic(v); err != nil {
+				return err
+			}
+		case "telemetry":
+			if err := sc.decodeTelemetry(v); err != nil {
 				return err
 			}
 		case "events":
@@ -398,6 +426,38 @@ func (sc *Scenario) decodeTraffic(v *value) error {
 	return nil
 }
 
+// decodeTelemetry maps the telemetry: section onto TelemetrySpec.
+func (sc *Scenario) decodeTelemetry(v *value) error {
+	if v.kind != mapNode {
+		return sc.errAt(v.line, "telemetry: must be a mapping")
+	}
+	for _, key := range v.keys {
+		c := v.child[key]
+		switch key {
+		case "sampleEvery":
+			d, err := time.ParseDuration(c.scalar)
+			if err != nil || d <= 0 {
+				return sc.errAt(c.line, "telemetry.sampleEvery: must be a positive duration, got %q", c.scalar)
+			}
+			sc.Telemetry.SampleEvery = d
+		case "sink":
+			sc.Telemetry.Sink = c.scalar
+		case "capacity":
+			n, err := strconv.Atoi(c.scalar)
+			if err != nil || n < 1 {
+				return sc.errAt(c.line, "telemetry.capacity: must be a positive integer, got %q", c.scalar)
+			}
+			sc.Telemetry.Capacity = n
+		default:
+			return sc.errAt(c.line, "telemetry: unknown key %q", key)
+		}
+	}
+	if !sc.Telemetry.Enabled() {
+		return sc.errAt(v.line, "telemetry: needs sampleEvery")
+	}
+	return nil
+}
+
 func (sc *Scenario) decodeEvents(v *value) error {
 	if v.kind != seqNode {
 		return sc.errAt(v.line, "events: must be a sequence")
@@ -485,6 +545,8 @@ var actions = map[string]actionSpec{
 	"churn_jobs":         {required: []string{"tenant", "count"}, optional: []string{"interval", "runtime", "vni", "pods"}},
 	"inject_nic_failure": {needsTarget: "node"},
 	"recover_nic":        {needsTarget: "node"},
+	"cordon":             {needsTarget: "node"},
+	"uncordon":           {needsTarget: "node"},
 	"partition_fabric":   {required: []string{"nodes"}},
 	"heal_partition":     {},
 	"fail_link":          {optional: []string{"groups", "switches", "link"}},
@@ -521,6 +583,10 @@ var assertionTargets = map[string]string{
 	"traffic_mpi_bytes":    "run",
 	"traffic_global_bytes": "run",
 	"traffic_ratio":        "run-pair",
+	// Series probes over the telemetry ring; they require a telemetry:
+	// section (no sampler, no series).
+	"telemetry_samples":               "",
+	"telemetry_peak_link_utilization": "",
 }
 
 var latencyStats = map[string]bool{"p50": true, "p90": true, "p99": true, "max": true, "mean": true}
@@ -750,6 +816,9 @@ func (sc *Scenario) validateAssertion(a *Assertion, tenants, runs map[string]boo
 	}
 	if _, ok := compareOps[a.Op]; !ok {
 		return sc.errAt(a.Line, "assertion op must be one of == != < <= > >=, got %q", a.Op)
+	}
+	if strings.HasPrefix(a.Type, "telemetry_") && !sc.Telemetry.Enabled() {
+		return sc.errAt(a.Line, "%s: requires a telemetry: section (sampleEvery)", a.Type)
 	}
 	switch kind {
 	case "":

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSONL writes the collected series as JSON Lines: one Sample per
+// line, chronological, newline-terminated. Marshaling follows struct
+// field order and the series derives only from the virtual clock, so two
+// same-seed runs write byte-identical files.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, sm := range s.Samples() {
+		b, err := json.Marshal(&sm)
+		if err != nil {
+			return err
+		}
+		bw.Write(b)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// DumpJSONL writes the series to path (whole-file, 0644).
+func (s *Sampler) DumpJSONL(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WritePrometheus renders the latest sample in Prometheus text exposition
+// format (version 0.0.4). Only the most recent snapshot is exposed — a
+// scrape sees current state, the JSONL export carries history. The
+// virtual-clock caveat: series have no wall-clock timestamps, so this
+// output suits offline inspection and test assertions, not a live
+// Prometheus server scraping a paused simulation (docs/observability.md
+// spells this out).
+func (s *Sampler) WritePrometheus(w io.Writer) error {
+	sm := s.Latest()
+	if sm == nil {
+		return fmt.Errorf("telemetry: no samples taken")
+	}
+	bw := bufio.NewWriter(w)
+
+	fmt.Fprintf(bw, "# HELP shssim_virtual_time_microseconds Virtual clock at snapshot.\n")
+	fmt.Fprintf(bw, "# TYPE shssim_virtual_time_microseconds gauge\n")
+	fmt.Fprintf(bw, "shssim_virtual_time_microseconds %d\n", sm.TimeUS)
+
+	if len(sm.Links) > 0 {
+		fmt.Fprintf(bw, "# HELP shssim_link_bytes_total Payload bytes carried by the trunk.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_link_bytes_total counter\n")
+		for _, l := range sm.Links {
+			fmt.Fprintf(bw, "shssim_link_bytes_total{link=%q,kind=%q} %d\n", l.Link, l.Kind, l.Bytes)
+		}
+		fmt.Fprintf(bw, "# HELP shssim_link_drops_total Packets dropped at the trunk.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_link_drops_total counter\n")
+		for _, l := range sm.Links {
+			fmt.Fprintf(bw, "shssim_link_drops_total{link=%q,kind=%q} %d\n", l.Link, l.Kind, l.Drops)
+		}
+		fmt.Fprintf(bw, "# HELP shssim_link_utilization Busy fraction of the trunk since time zero.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_link_utilization gauge\n")
+		for _, l := range sm.Links {
+			fmt.Fprintf(bw, "shssim_link_utilization{link=%q,kind=%q} %g\n", l.Link, l.Kind, l.Util)
+		}
+		fmt.Fprintf(bw, "# HELP shssim_link_down Administrative state (1 = down).\n")
+		fmt.Fprintf(bw, "# TYPE shssim_link_down gauge\n")
+		for _, l := range sm.Links {
+			down := 0
+			if l.Down {
+				down = 1
+			}
+			fmt.Fprintf(bw, "shssim_link_down{link=%q,kind=%q} %d\n", l.Link, l.Kind, down)
+		}
+	}
+	if len(sm.Switches) > 0 {
+		fmt.Fprintf(bw, "# HELP shssim_switch_packets_total Per-switch packet counters by direction.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_switch_packets_total counter\n")
+		for _, sw := range sm.Switches {
+			fmt.Fprintf(bw, "shssim_switch_packets_total{switch=%q,dir=\"injected\"} %d\n", sw.Switch, sw.Injected)
+			fmt.Fprintf(bw, "shssim_switch_packets_total{switch=%q,dir=\"forwarded\"} %d\n", sw.Switch, sw.Forwarded)
+			fmt.Fprintf(bw, "shssim_switch_packets_total{switch=%q,dir=\"dropped\"} %d\n", sw.Switch, sw.Dropped)
+		}
+	}
+
+	fmt.Fprintf(bw, "# HELP shssim_pods Pods by phase.\n")
+	fmt.Fprintf(bw, "# TYPE shssim_pods gauge\n")
+	fmt.Fprintf(bw, "shssim_pods{phase=\"pending\"} %d\n", sm.PodsPending)
+	fmt.Fprintf(bw, "shssim_pods{phase=\"running\"} %d\n", sm.PodsRunning)
+	fmt.Fprintf(bw, "shssim_pods{phase=\"succeeded\"} %d\n", sm.PodsSucceeded)
+	fmt.Fprintf(bw, "shssim_pods{phase=\"failed\"} %d\n", sm.PodsFailed)
+	fmt.Fprintf(bw, "# HELP shssim_jobs Jobs by state.\n")
+	fmt.Fprintf(bw, "# TYPE shssim_jobs gauge\n")
+	fmt.Fprintf(bw, "shssim_jobs{state=\"active\"} %d\n", sm.JobsActive)
+	fmt.Fprintf(bw, "shssim_jobs{state=\"completed\"} %d\n", sm.JobsCompleted)
+
+	fmt.Fprintf(bw, "# HELP shssim_workload_iterations Collective iterations completed and scheduled.\n")
+	fmt.Fprintf(bw, "# TYPE shssim_workload_iterations gauge\n")
+	fmt.Fprintf(bw, "shssim_workload_iterations{kind=\"done\"} %d\n", sm.WorkloadDone)
+	fmt.Fprintf(bw, "shssim_workload_iterations{kind=\"total\"} %d\n", sm.WorkloadTotal)
+	return bw.Flush()
+}
+
+// DumpPrometheus writes the latest sample's exposition to path.
+func (s *Sampler) DumpPrometheus(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

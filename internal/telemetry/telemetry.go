@@ -1,0 +1,290 @@
+// Package telemetry is the simulator's time-series subsystem: a sampler
+// driven by a periodic virtual-clock event that snapshots fabric link
+// utilization and drops, per-switch forwarding counters, control-plane pod
+// and job state, and live workload progress into an in-memory ring of
+// timestamped samples. The ring exports as JSONL (one sample per line, for
+// post-hoc analysis) and as Prometheus text exposition (the latest sample,
+// for scrape-shaped consumers); docs/observability.md documents both.
+//
+// Sampling is deterministic: every field derives from the virtual clock
+// and the simulation's own counters, so two same-seed runs produce
+// byte-identical series. And it is strictly opt-in: nothing in the
+// simulation layers references this package, so a run without an attached
+// sampler pays zero cost — the hot paths keep their 0 allocs/op (the
+// telemetry tests hold an AllocsPerRun guard over the event core with a
+// detached sampler to prove it).
+package telemetry
+
+import (
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// ObjectLister is the lister shape the sampler reads control-plane state
+// through; k8s.Lister satisfies it. Nil listers skip their section.
+type ObjectLister interface {
+	List(namespace string) []k8s.Object
+}
+
+// Sources names what one sampler observes. Every field is optional: a nil
+// source simply leaves its section of each sample empty.
+type Sources struct {
+	// Topo supplies per-link utilization/drop records and per-switch
+	// injected/forwarded/dropped counters.
+	Topo *fabric.Topology
+	// Pods and Jobs are control-plane listers (cached informer reads, so
+	// sampling costs no API copies).
+	Pods ObjectLister
+	Jobs ObjectLister
+	// Progress reports live workload progress: collective iterations
+	// completed and scheduled so far (cumulative over all traffic runs).
+	Progress func() (done, total int)
+}
+
+// Config tunes a sampler.
+type Config struct {
+	// Interval is the virtual-clock sampling period (required, > 0).
+	Interval sim.Duration
+	// Capacity bounds the ring; when full, the oldest sample is
+	// overwritten. 0 means DefaultCapacity.
+	Capacity int
+}
+
+// DefaultCapacity is the ring size when Config.Capacity is 0: large
+// enough for an hour of virtual time at 1 s samples with room to spare,
+// small enough to stay cheap.
+const DefaultCapacity = 8192
+
+// LinkSample is one directional trunk's state at sample time.
+type LinkSample struct {
+	Link string `json:"link"` // "from->to" switch names
+	Kind string `json:"kind"` // "intra" or "global"
+	// Bytes/Packets/Drops are cumulative fabric-lifetime counters.
+	Bytes   uint64 `json:"bytes"`
+	Packets uint64 `json:"packets"`
+	Drops   uint64 `json:"drops"`
+	// Util is the busy fraction (0..1) since time zero.
+	Util float64 `json:"util"`
+	Down bool    `json:"down,omitempty"`
+}
+
+// SwitchSample is one edge switch's cumulative forwarding counters.
+type SwitchSample struct {
+	Switch    string `json:"switch"`
+	Injected  uint64 `json:"injected"`
+	Forwarded uint64 `json:"forwarded"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+// Sample is one timestamped snapshot. Counters are cumulative (Prometheus
+// counter semantics); deltas are the reader's derivative.
+type Sample struct {
+	// TimeUS is the virtual clock in microseconds.
+	TimeUS   int64          `json:"t_us"`
+	Links    []LinkSample   `json:"links,omitempty"`
+	Switches []SwitchSample `json:"switches,omitempty"`
+
+	PodsPending   int `json:"pods_pending"`
+	PodsRunning   int `json:"pods_running"`
+	PodsSucceeded int `json:"pods_succeeded"`
+	PodsFailed    int `json:"pods_failed"`
+	JobsActive    int `json:"jobs_active"`
+	JobsCompleted int `json:"jobs_completed"`
+
+	WorkloadDone  int `json:"workload_done"`
+	WorkloadTotal int `json:"workload_total"`
+}
+
+// Sampler snapshots Sources into a bounded ring on a periodic virtual-
+// clock event. Create with New, start with Attach, stop with Detach.
+// Like every simulated component it is confined to the engine's goroutine.
+type Sampler struct {
+	eng  *sim.Engine
+	cfg  Config
+	src  Sources
+	tick sim.Event
+	// ring is the sample storage; len grows to cap then stays; head is the
+	// index of the oldest sample once the ring has wrapped.
+	ring     []Sample
+	head     int
+	wrapped  bool
+	attached bool
+	// taken counts samples ever taken, including overwritten ones.
+	taken uint64
+}
+
+// New builds a sampler; it takes no samples until Attach.
+func New(eng *sim.Engine, cfg Config) *Sampler {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	return &Sampler{eng: eng, cfg: cfg}
+}
+
+// Attach points the sampler at its sources, takes an immediate sample, and
+// schedules the periodic tick. Attaching an attached sampler is a no-op.
+func (s *Sampler) Attach(src Sources) {
+	if s.attached {
+		return
+	}
+	s.src = src
+	s.attached = true
+	s.sample()
+	s.schedule()
+}
+
+// Detach cancels the periodic tick; the collected ring stays readable.
+// After Detach the sampler contributes nothing to the engine — no events,
+// no allocations.
+func (s *Sampler) Detach() {
+	if !s.attached {
+		return
+	}
+	s.tick.Cancel()
+	s.attached = false
+}
+
+// Attached reports whether the periodic tick is live.
+func (s *Sampler) Attached() bool { return s.attached }
+
+// Interval returns the sampling period.
+func (s *Sampler) Interval() sim.Duration { return s.cfg.Interval }
+
+// Len returns the number of samples currently held (≤ capacity).
+func (s *Sampler) Len() int {
+	if s.wrapped {
+		return len(s.ring)
+	}
+	return s.head
+}
+
+// Taken returns the number of samples ever taken, including ones the ring
+// has since overwritten.
+func (s *Sampler) Taken() uint64 { return s.taken }
+
+// tickFn is the shared top-level callback behind the periodic event (the
+// engine's closure-free AfterCall form); arg is the *Sampler.
+func tickFn(arg any) {
+	s := arg.(*Sampler)
+	if !s.attached {
+		return
+	}
+	s.sample()
+	s.schedule()
+}
+
+func (s *Sampler) schedule() {
+	s.tick = s.eng.AfterCall(s.cfg.Interval, tickFn, s)
+}
+
+// sample takes one snapshot now.
+func (s *Sampler) sample() {
+	var sm *Sample
+	if !s.wrapped && s.head == s.cfg.Capacity {
+		s.wrapped = true
+		s.head = 0
+	}
+	if s.wrapped {
+		sm = &s.ring[s.head]
+		s.head = (s.head + 1) % len(s.ring)
+		// Reuse the overwritten slot's slices.
+		*sm = Sample{Links: sm.Links[:0], Switches: sm.Switches[:0]}
+	} else {
+		s.ring = append(s.ring, Sample{})
+		sm = &s.ring[s.head]
+		s.head++
+	}
+	s.taken++
+	sm.TimeUS = int64(s.eng.Now()) / 1000
+
+	if t := s.src.Topo; t != nil {
+		for _, l := range t.Links() {
+			sm.Links = append(sm.Links, LinkSample{
+				Link:    l.From + "->" + l.To,
+				Kind:    l.Kind.String(),
+				Bytes:   l.Stats.Bytes,
+				Packets: l.Stats.Forwarded,
+				Drops:   l.Stats.Drops,
+				Util:    l.Utilization,
+				Down:    l.Down,
+			})
+		}
+		for _, sw := range t.Switches() {
+			st := sw.Stats()
+			sm.Switches = append(sm.Switches, SwitchSample{
+				Switch:    sw.Name(),
+				Injected:  st.Injected,
+				Forwarded: st.Forwarded,
+				Dropped:   st.DropTotal(),
+			})
+		}
+	}
+	if s.src.Pods != nil {
+		for _, obj := range s.src.Pods.List("") {
+			switch obj.(*k8s.Pod).Status.Phase {
+			case k8s.PodRunning, k8s.PodTerminating:
+				sm.PodsRunning++
+			case k8s.PodSucceeded:
+				sm.PodsSucceeded++
+			case k8s.PodFailed:
+				sm.PodsFailed++
+			default: // Pending or Scheduled: not yet running
+				sm.PodsPending++
+			}
+		}
+	}
+	if s.src.Jobs != nil {
+		for _, obj := range s.src.Jobs.List("") {
+			job := obj.(*k8s.Job)
+			if job.Status.Completed {
+				sm.JobsCompleted++
+			} else {
+				sm.JobsActive++
+			}
+		}
+	}
+	if s.src.Progress != nil {
+		sm.WorkloadDone, sm.WorkloadTotal = s.src.Progress()
+	}
+}
+
+// Samples returns the collected series in chronological order. The
+// returned slice aliases ring storage: it is valid until the next sample
+// is taken.
+func (s *Sampler) Samples() []Sample {
+	if !s.wrapped {
+		return s.ring[:s.head]
+	}
+	out := make([]Sample, 0, len(s.ring))
+	out = append(out, s.ring[s.head:]...)
+	out = append(out, s.ring[:s.head]...)
+	return out
+}
+
+// Latest returns the most recent sample, or nil when none was taken.
+func (s *Sampler) Latest() *Sample {
+	if s.Len() == 0 {
+		return nil
+	}
+	idx := s.head - 1
+	if idx < 0 {
+		idx = len(s.ring) - 1
+	}
+	return &s.ring[idx]
+}
+
+// PeakLinkUtilization returns the maximum per-link utilization seen in any
+// collected sample — the series probe behind the scenario assertion of the
+// same name.
+func (s *Sampler) PeakLinkUtilization() float64 {
+	peak := 0.0
+	for _, sm := range s.Samples() {
+		for _, l := range sm.Links {
+			if l.Util > peak {
+				peak = l.Util
+			}
+		}
+	}
+	return peak
+}

@@ -109,6 +109,14 @@ type Report struct {
 // caller drives the engine; like every simulated component, Run only
 // schedules events.
 func Run(eng *sim.Engine, comm *mpi.Comm, topo *fabric.Topology, spec Spec, done func(Report)) error {
+	return RunProgress(eng, comm, topo, spec, nil, done)
+}
+
+// RunProgress is Run with a per-iteration observer: progress(iter) runs
+// after each collective call completes (iter counts from 1 to
+// spec.Iterations). The telemetry sampler uses it to expose live workload
+// progress; a nil progress makes it exactly Run.
+func RunProgress(eng *sim.Engine, comm *mpi.Comm, topo *fabric.Topology, spec Spec, progress func(iter int), done func(Report)) error {
 	if err := spec.Validate(); err != nil {
 		return err
 	}
@@ -145,6 +153,10 @@ func Run(eng *sim.Engine, comm *mpi.Comm, topo *fabric.Topology, spec Spec, done
 		next := loop
 		if spec.Compute > 0 {
 			next = func() { eng.After(spec.Compute, loop) }
+		}
+		if progress != nil {
+			it, inner := iter, next
+			next = func() { progress(it); inner() }
 		}
 		// Validate guaranteed the pattern, so the dispatch cannot fail.
 		if err := comm.RunCollective(string(spec.Pattern), spec.Bytes, next); err != nil {
