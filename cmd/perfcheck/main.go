@@ -1,0 +1,106 @@
+// Command perfcheck compares a freshly generated perfsuite snapshot
+// against the committed BENCH_*.json baseline and fails on regressions.
+// It is the CI guard behind the perf trajectory: timing noise is
+// tolerated up to -max-regress (default 30%), but a zero-alloc case
+// growing any allocations, or a baseline case vanishing from the fresh
+// run, fails immediately — those are structural regressions, not noise.
+//
+// Usage:
+//
+//	perfcheck -baseline BENCH_PR8.json -fresh BENCH_FRESH.json
+//	perfcheck -baseline BENCH_PR8.json -fresh BENCH_FRESH.json -max-regress 0.5
+//
+// Exit status: 0 clean, 1 regression found, 2 bad invocation/unreadable
+// input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/caps-sim/shs-k8s/internal/perfsuite"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_PR8.json", "committed perfsuite snapshot to compare against")
+	fresh := flag.String("fresh", "", "freshly generated perfsuite snapshot (required)")
+	maxRegress := flag.Float64("max-regress", 0.30, "tolerated fractional ns/op growth before failing (0.30 = +30%)")
+	flag.Parse()
+
+	if *fresh == "" {
+		fmt.Fprintln(os.Stderr, "perfcheck: -fresh is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*fresh)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: %v\n", err)
+		os.Exit(2)
+	}
+	problems := check(base, cur, *maxRegress)
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "perfcheck: %s\n", p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(os.Stderr, "perfcheck: %d regression(s) vs %s\n", len(problems), *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("perfcheck: %d cases within +%.0f%% of %s\n", len(base.Cases), *maxRegress*100, *baseline)
+}
+
+func load(path string) (*perfsuite.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return decode(f, path)
+}
+
+func decode(r io.Reader, path string) (*perfsuite.Report, error) {
+	var rep perfsuite.Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Cases) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark cases", path)
+	}
+	return &rep, nil
+}
+
+// check compares every baseline case against the fresh run and returns
+// one message per violation. Cases present only in the fresh run are
+// ignored — adding benchmarks must not fail the guard.
+func check(base, fresh *perfsuite.Report, maxRegress float64) []string {
+	byName := make(map[string]perfsuite.Result, len(fresh.Cases))
+	for _, c := range fresh.Cases {
+		byName[c.Name] = c
+	}
+	var problems []string
+	for _, b := range base.Cases {
+		f, ok := byName[b.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: present in baseline but missing from fresh run", b.Name))
+			continue
+		}
+		if b.AllocsPerOp == 0 && f.AllocsPerOp > 0 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: zero-alloc case now allocates (%d allocs/op, %d B/op)",
+				b.Name, f.AllocsPerOp, f.BytesPerOp))
+		}
+		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+maxRegress) {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %.1f ns/op vs baseline %.1f (+%.0f%%, limit +%.0f%%)",
+				b.Name, f.NsPerOp, b.NsPerOp, (f.NsPerOp/b.NsPerOp-1)*100, maxRegress*100))
+		}
+	}
+	return problems
+}

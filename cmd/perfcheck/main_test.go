@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/caps-sim/shs-k8s/internal/perfsuite"
+)
+
+func report(cases ...perfsuite.Result) *perfsuite.Report {
+	return &perfsuite.Report{Suite: "test", Cases: cases}
+}
+
+func TestCheckClean(t *testing.T) {
+	base := report(
+		perfsuite.Result{Name: "A", NsPerOp: 100, AllocsPerOp: 0},
+		perfsuite.Result{Name: "B", NsPerOp: 50, AllocsPerOp: 3},
+	)
+	fresh := report(
+		perfsuite.Result{Name: "A", NsPerOp: 120, AllocsPerOp: 0}, // +20% < +30%
+		perfsuite.Result{Name: "B", NsPerOp: 40, AllocsPerOp: 3},
+		perfsuite.Result{Name: "C", NsPerOp: 999, AllocsPerOp: 9}, // new case: ignored
+	)
+	if got := check(base, fresh, 0.30); len(got) != 0 {
+		t.Errorf("clean comparison flagged: %v", got)
+	}
+}
+
+func TestCheckNsRegression(t *testing.T) {
+	base := report(perfsuite.Result{Name: "A", NsPerOp: 100})
+	fresh := report(perfsuite.Result{Name: "A", NsPerOp: 131})
+	got := check(base, fresh, 0.30)
+	if len(got) != 1 || !strings.Contains(got[0], "ns/op") {
+		t.Errorf("got %v, want one ns/op violation", got)
+	}
+	// Same delta under a looser limit passes.
+	if got := check(base, fresh, 0.50); len(got) != 0 {
+		t.Errorf("looser limit still flagged: %v", got)
+	}
+}
+
+func TestCheckAllocRegression(t *testing.T) {
+	base := report(perfsuite.Result{Name: "A", NsPerOp: 100, AllocsPerOp: 0})
+	fresh := report(perfsuite.Result{Name: "A", NsPerOp: 100, AllocsPerOp: 1, BytesPerOp: 48})
+	got := check(base, fresh, 0.30)
+	if len(got) != 1 || !strings.Contains(got[0], "zero-alloc") {
+		t.Errorf("got %v, want one zero-alloc violation", got)
+	}
+	// A case that already allocated may fluctuate without failing.
+	base = report(perfsuite.Result{Name: "A", NsPerOp: 100, AllocsPerOp: 2})
+	fresh = report(perfsuite.Result{Name: "A", NsPerOp: 100, AllocsPerOp: 4})
+	if got := check(base, fresh, 0.30); len(got) != 0 {
+		t.Errorf("nonzero-alloc fluctuation flagged: %v", got)
+	}
+}
+
+func TestCheckMissingCase(t *testing.T) {
+	base := report(
+		perfsuite.Result{Name: "A", NsPerOp: 100},
+		perfsuite.Result{Name: "B", NsPerOp: 100},
+	)
+	fresh := report(perfsuite.Result{Name: "A", NsPerOp: 100})
+	got := check(base, fresh, 0.30)
+	if len(got) != 1 || !strings.Contains(got[0], "missing") {
+		t.Errorf("got %v, want one missing-case violation", got)
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := load(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"suite":"x","cases":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(empty); err == nil {
+		t.Error("empty case list accepted")
+	}
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(garbage); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []perfsuite.Result{{Name: "A", NsPerOp: 12.5, AllocsPerOp: 0, SimEventsPerSec: 1e6}}
+	if err := perfsuite.WriteJSON(f, "round-trip", cases); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rep, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != 1 || rep.Cases[0].Name != "A" || rep.Cases[0].SimEventsPerSec != 1e6 {
+		t.Errorf("round-trip mismatch: %+v", rep)
+	}
+}

@@ -9,7 +9,8 @@
 //	shsbench -exp all
 //	shsbench -exp fig5 -runs 10
 //	shsbench -exp fig12 -runs 5 -seed 42
-//	shsbench -exp perf -benchjson BENCH_PR5.json
+//	shsbench -exp perf -benchjson BENCH_PR8.json
+//	shsbench -exp collectives -fidelity flow
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, fig9, fig10, fig11, fig12,
 // comm (fig5-8), admission (fig9-12), fabric (multi-group hot-link
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/caps-sim/shs-k8s/internal/fabric"
 	"github.com/caps-sim/shs-k8s/internal/harness"
 	"github.com/caps-sim/shs-k8s/internal/perfsuite"
 )
@@ -31,9 +33,15 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1, fig5..fig12, comm, admission, fabric, collectives, perf, all)")
 	runs := flag.Int("runs", 0, "repetitions per mode (0 = paper defaults: 10 comm / 5 admission)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
-	benchJSON := flag.String("benchjson", "BENCH_PR5.json", "output path for the -exp perf JSON snapshot")
+	benchJSON := flag.String("benchjson", "BENCH_PR8.json", "output path for the -exp perf JSON snapshot")
+	fidelity := flag.String("fidelity", "", "fabric fidelity for the collectives sweep (packet, flow or hybrid)")
 	flag.Parse()
 
+	fid, err := fabric.ParseFidelity(*fidelity)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shsbench: %v\n", err)
+		os.Exit(2)
+	}
 	if *exp == "perf" {
 		if err := runPerf(*benchJSON); err != nil {
 			fmt.Fprintf(os.Stderr, "shsbench: %v\n", err)
@@ -41,7 +49,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*exp, *runs, *seed); err != nil {
+	if err := run(*exp, *runs, *seed, fid); err != nil {
 		fmt.Fprintf(os.Stderr, "shsbench: %v\n", err)
 		os.Exit(1)
 	}
@@ -72,7 +80,7 @@ func runPerf(jsonPath string) error {
 	return nil
 }
 
-func run(exp string, runs int, seed int64) error {
+func run(exp string, runs int, seed int64, fid fabric.Fidelity) error {
 	selected := func(names ...string) bool {
 		if exp == "all" {
 			return true
@@ -182,6 +190,7 @@ func run(exp string, runs int, seed int64) error {
 		// the dragonfly topology.
 		cfg := harness.DefaultCollectivesConfig()
 		cfg.Seed = seed
+		cfg.Fidelity = fid
 		rows, err := harness.RunCollectivesSweep(cfg)
 		if err != nil {
 			return err

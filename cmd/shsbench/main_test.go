@@ -3,6 +3,8 @@ package main
 import (
 	"testing"
 	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
 )
 
 // TestRunCheapExperiments exercises the CLI driver on the experiments that
@@ -10,7 +12,7 @@ import (
 // top-level benchmarks.
 func TestRunCheapExperiments(t *testing.T) {
 	for _, exp := range []string{"table1", "tc"} {
-		if err := run(exp, 1, 1); err != nil {
+		if err := run(exp, 1, 1, fabric.FidelityPacket); err != nil {
 			t.Errorf("run(%q): %v", exp, err)
 		}
 	}
@@ -32,7 +34,7 @@ func TestRunPerfUnwritablePathFailsFast(t *testing.T) {
 
 func TestRunUnknownExperimentIsNoop(t *testing.T) {
 	// Unknown names select nothing and must not error.
-	if err := run("no-such-figure", 1, 1); err != nil {
+	if err := run("no-such-figure", 1, 1, fabric.FidelityPacket); err != nil {
 		t.Errorf("run(unknown): %v", err)
 	}
 }
@@ -41,7 +43,7 @@ func TestRunSingleAdmissionFigure(t *testing.T) {
 	if testing.Short() {
 		t.Skip("admission figure sweep in -short mode")
 	}
-	if err := run("fig10", 1, 1); err != nil {
+	if err := run("fig10", 1, 1, fabric.FidelityPacket); err != nil {
 		t.Errorf("run(fig10): %v", err)
 	}
 }

@@ -12,13 +12,15 @@
 //	shssim list [dir]                list scenarios with their descriptions
 //	shssim interactive [flags]       drive a live fleet from a command prompt
 //
-// Flags for run: -v (print the event narration), -workers N (parallel
-// scenario runs for directories; results print in deterministic order),
-// -seed N (override every scenario's baked-in seed; the effective seed is
-// printed either way, so any run can be reproduced exactly), -repeat N
-// (run every scenario N times at consecutive seeds — base, base+1, … —
-// reusing the parsed spec, so seed sweeps pay YAML parsing and validation
-// once per file instead of once per run).
+// Flags for run: -v (print the event narration), -workers N / -parallel N
+// (parallel scenario runs for directories; results print in deterministic
+// order), -seed N (override every scenario's baked-in seed; the effective
+// seed is printed either way, so any run can be reproduced exactly),
+// -repeat N (run every scenario N times at consecutive seeds — base,
+// base+1, … — reusing the parsed spec, so seed sweeps pay YAML parsing and
+// validation once per file instead of once per run), -fidelity M (override
+// every traffic spec's fabric fidelity: packet, flow or hybrid — see
+// docs/performance.md).
 package main
 
 import (
@@ -33,6 +35,7 @@ import (
 	"sync"
 
 	"github.com/caps-sim/shs-k8s/internal/ctl"
+	"github.com/caps-sim/shs-k8s/internal/fabric"
 	"github.com/caps-sim/shs-k8s/internal/fuzz"
 	"github.com/caps-sim/shs-k8s/internal/scenario"
 )
@@ -68,7 +71,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
-  shssim run [-v] [-workers N] [-seed N] [-repeat N] <file-or-dir> [...]
+  shssim run [-v] [-workers N | -parallel N] [-seed N] [-repeat N] [-fidelity M] <file-or-dir> [...]
   shssim validate <file> [...]
   shssim list [dir]
   shssim fuzz [-n N] [-seed N] [-corpus dir] [-v]
@@ -117,13 +120,21 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	verbose := fs.Bool("v", false, "print the event narration for each run")
 	workers := fs.Int("workers", 4, "scenarios run in parallel")
+	fs.IntVar(workers, "parallel", 4, "alias for -workers")
 	seed := fs.Int64("seed", 0, "override the scenario seed (0 = use each file's seed)")
 	repeat := fs.Int("repeat", 1, "runs per scenario at consecutive seeds (base, base+1, ...)")
+	fidelity := fs.String("fidelity", "", "override every traffic spec's fabric fidelity (packet, flow or hybrid)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
 		return 2
+	}
+	if *fidelity != "" {
+		if _, err := fabric.ParseFidelity(*fidelity); err != nil {
+			fmt.Fprintf(stderr, "shssim run: %v\n", err)
+			return 2
+		}
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintln(stderr, "shssim run: need at least one scenario file or directory")
@@ -147,6 +158,15 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			fmt.Fprintf(stderr, "shssim: %v\n", err)
 			return 1
+		}
+		if *fidelity != "" {
+			// Override once per file; the repeats' shallow copies share the
+			// rewritten slice (Run treats traffic specs as read-only).
+			traffic := append([]scenario.TrafficSpec(nil), sc.Traffic...)
+			for j := range traffic {
+				traffic[j].Fidelity = *fidelity
+			}
+			sc.Traffic = traffic
 		}
 		scenarios[i] = sc
 	}

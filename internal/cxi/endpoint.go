@@ -37,7 +37,19 @@ type Endpoint struct {
 	// enforcing the per-endpoint message rate bound.
 	issueAt sim.Time
 	handler func(Message)
+	// fidelity selects the fabric execution mode for this endpoint's
+	// sends; the zero value is exact packet fidelity.
+	fidelity fabric.Fidelity
 }
+
+// SetFidelity selects the fabric fidelity for subsequent sends: flow or
+// hybrid transfers attempt the analytic fast path and fall back to the
+// packet path per fabric.Fidelity's contract. Safe to change between
+// sends; in-flight messages keep the mode they were issued under.
+func (ep *Endpoint) SetFidelity(f fabric.Fidelity) { ep.fidelity = f }
+
+// Fidelity returns the endpoint's current fabric fidelity mode.
+func (ep *Endpoint) Fidelity() fabric.Fidelity { return ep.fidelity }
 
 // EPAlloc allocates an endpoint through svc for the calling process. This is
 // the authenticated operation: the driver reads the caller's identity (UID/
@@ -151,6 +163,10 @@ type sendArg struct {
 	frames     int
 	msgID      uint64
 	onComplete func()
+	// pkt is scratch for the flow fast path: SendFlow's packet lives here
+	// rather than in a literal so the attempt stays allocation-free even
+	// when it declines and the packet path runs instead.
+	pkt fabric.Packet
 }
 
 var sendArgPool = sync.Pool{New: func() any { return new(sendArg) }}
@@ -163,13 +179,32 @@ func sendCall(a any) {
 	sa := a.(*sendArg)
 	ep, d := sa.ep, sa.ep.dev
 	var last sim.Time
-	if d.cfg.CoalesceFrames || sa.frames == 1 {
+	sent := false
+	if ep.fidelity != fabric.FidelityPacket {
+		// Flow fast path: the whole message as one analytic transfer. The
+		// elision credit covers the events the packet path would have run,
+		// frame-granular or coalesced.
+		packets := sa.frames
+		if d.cfg.CoalesceFrames {
+			packets = 1
+		}
+		sa.pkt = fabric.Packet{
+			Src: d.addr, Dst: sa.dst, VNI: ep.vni, TC: ep.tc,
+			PayloadBytes: sa.size, Frames: sa.frames, DstIdx: sa.dstIdx, SrcIdx: ep.idx,
+			MsgID: sa.msgID, Last: true,
+		}
+		last, sent = d.link.SendFlow(&sa.pkt, ep.fidelity, packets)
+	}
+	switch {
+	case sent:
+		// Flow path completed the transfer; last is the local completion.
+	case d.cfg.CoalesceFrames || sa.frames == 1:
 		last = d.link.Send(&fabric.Packet{
 			Src: d.addr, Dst: sa.dst, VNI: ep.vni, TC: ep.tc,
 			PayloadBytes: sa.size, Frames: sa.frames, DstIdx: sa.dstIdx, SrcIdx: ep.idx,
 			MsgID: sa.msgID, Last: true,
 		})
-	} else {
+	default:
 		mtu := d.sw.Config().MTU
 		remaining := sa.size
 		off := 0

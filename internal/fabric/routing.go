@@ -81,18 +81,28 @@ func (t *Topology) routeFrom(sw *Switch) func(p *Packet) routeVerdict {
 // per-packet drop accounting (charging the blamed link) stays here so
 // counters match uncached resolution exactly.
 func (t *Topology) nextLink(ci, di int) (*link, bool) {
+	l, blame := t.peekNextLink(ci, di)
+	if l == nil {
+		if blame != nil {
+			blame.stats.Drops++
+		}
+		return nil, false
+	}
+	return l, true
+}
+
+// peekNextLink resolves the next link through the epoch-validated cache
+// without charging drop blame: the flow fast path's plan phase uses it to
+// walk a route speculatively (populating the same cache entries the packet
+// path serves, so the VerifyRoutes oracle audits both fidelities alike),
+// deferring all drop accounting to the packet path it falls back to.
+func (t *Topology) peekNextLink(ci, di int) (next, blame *link) {
 	e := &t.routes[ci*len(t.switches)+di]
 	if !t.cacheValid(e) {
 		e.next, e.blame = t.resolveNextLink(ci, di)
 		e.epoch = t.routeEpoch
 	}
-	if e.next == nil {
-		if e.blame != nil {
-			e.blame.stats.Drops++
-		}
-		return nil, false
-	}
-	return e.next, true
+	return e.next, e.blame
 }
 
 // resolveNextLink runs the minimal-path search from switch ci to switch di.

@@ -31,6 +31,13 @@ type Config struct {
 	// experimental variability" the paper reports, which per-packet
 	// jitter alone would average away over 10k-iteration benchmarks.
 	RunSigma float64
+	// FlowCongestionThreshold bounds how long a hybrid-fidelity transfer
+	// may queue at any stage of its route (host link, each trunk, the
+	// destination egress port) and still take the flow-level fast path;
+	// beyond it the transfer falls back to packet fidelity so congestion
+	// dynamics stay exact. See the Fidelity type. Zero means any queueing
+	// at all forces the packet path.
+	FlowCongestionThreshold time.Duration
 }
 
 // DefaultConfig returns the Slingshot-calibrated parameters.
@@ -43,6 +50,10 @@ func DefaultConfig() Config {
 		FrameHeaderBytes:  64,
 		JitterFrac:        0.006,
 		RunSigma:          0.004,
+		// One microsecond of queueing ≈ 25 KiB of residual occupancy at
+		// 200 Gbps: enough to ignore incidental overlap, small enough that
+		// real contention drops hybrid runs back to packet fidelity.
+		FlowCongestionThreshold: time.Microsecond,
 	}
 }
 
@@ -108,6 +119,11 @@ type Switch struct {
 	// destinations that are not local ports before dropping with
 	// no_route. The ingress ACL has already passed when it is called.
 	remoteRoute func(p *Packet) routeVerdict
+
+	// flowRoute, when set (by a Topology), carries a flow-level transfer
+	// (SendFlow) across trunks analytically. Nil on a standalone switch,
+	// where only same-switch flow transfers are possible.
+	flowRoute func(p *Packet, hl *HostLink, fid Fidelity, packets int) (sim.Time, bool)
 
 	// onAttach, when set (by a Topology), observes every port attachment
 	// so the fabric records which edge switch owns each address.
@@ -414,16 +430,24 @@ func localDeliverCall(a any) {
 // deliver serializes the packet onto the egress link and schedules
 // delivery.
 func (s *Switch) deliver(p *Packet, out *port) {
+	s.flowDeliver(p, s.eng.Now(), out)
+}
+
+// flowDeliver is the shared final-delivery leg: egress accounting, port
+// serialization from time at, and the delivery event. The packet path calls
+// it via deliver with at = now; the flow fast path (see flow.go) calls it
+// with an analytically computed arrival time, so both fidelities run the
+// same arithmetic and jitter draws here. Returns the serialization end.
+func (s *Switch) flowDeliver(p *Packet, at sim.Time, out *port) sim.Time {
 	s.stats.Forwarded++
 	s.stats.ForwardedBytes += uint64(p.PayloadBytes)
 	out.egressBytes[p.TC] += uint64(p.PayloadBytes)
 
-	now := s.eng.Now()
 	// Egress serialization: the packet occupies the egress link after any
 	// already-queued traffic. Higher-priority classes are modelled with a
 	// small scheduling advantage: they do not wait behind lower-priority
 	// residual occupancy beyond one MTU slot.
-	start := now.Add(s.eng.Jitter(s.cfg.SwitchLatency, s.cfg.JitterFrac))
+	start := at.Add(s.eng.Jitter(s.cfg.SwitchLatency, s.cfg.JitterFrac))
 	if out.egressAt > start {
 		wait := out.egressAt.Sub(start)
 		if p.TC == TCLowLatency {
@@ -442,4 +466,5 @@ func (s *Switch) deliver(p *Packet, out *port) {
 	d := localDeliverPool.Get().(*localDeliver)
 	d.recv, d.pkt = out.recv, *p
 	s.eng.AtCall(end.Add(s.cfg.PropagationDelay), localDeliverCall, d)
+	return end
 }

@@ -212,6 +212,7 @@ func NewTopology(eng *sim.Engine, cfg Config, spec TopologySpec) *Topology {
 	// globally unique, so the switches share one allocator.
 	for _, sw := range t.switches {
 		sw.remoteRoute = t.routeFrom(sw)
+		sw.flowRoute = t.flowFrom(sw)
 		sw.onAttach = t.adopt
 	}
 	for _, sw := range t.switches[1:] {

@@ -133,6 +133,15 @@ func Generate(rng *rand.Rand, cfg Config) *scenario.Scenario {
 		if rng.Intn(2) == 0 {
 			ts.Compute = time.Duration(1+rng.Intn(50)) * time.Microsecond
 		}
+		// A third of generated specs exercise the flow fast path, so the
+		// conservation, routing-oracle and determinism invariants run over
+		// flow-level completions (and hybrid's congestion fallback) too.
+		switch rng.Intn(3) {
+		case 1:
+			ts.Fidelity = "flow"
+		case 2:
+			ts.Fidelity = "hybrid"
+		}
 		g.sc.Traffic = append(g.sc.Traffic, ts)
 	}
 

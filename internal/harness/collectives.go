@@ -49,6 +49,9 @@ type CollectivesConfig struct {
 	// taper, so placement differences are visible.
 	GlobalGbps float64
 	Seed       int64
+	// Fidelity is the fabric execution mode for every cell (see
+	// fabric.Fidelity); the zero value is exact packet fidelity.
+	Fidelity fabric.Fidelity
 }
 
 // DefaultCollectivesConfig is the EXPERIMENTS.md grid: 8 ranks, three
@@ -153,7 +156,7 @@ func runCollectiveCell(cfg CollectivesConfig, placement Placement, pattern workl
 	var rep workload.Report
 	finished := false
 	err = workload.Run(st.Eng, comm, st.Topo,
-		workload.Spec{Pattern: pattern, Bytes: size, Iterations: cfg.Iterations},
+		workload.Spec{Pattern: pattern, Bytes: size, Iterations: cfg.Iterations, Fidelity: cfg.Fidelity},
 		func(r workload.Report) { rep, finished = r, true })
 	if err != nil {
 		return workload.Report{}, err

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/caps-sim/shs-k8s/internal/fabric"
 	"github.com/caps-sim/shs-k8s/internal/workload"
 )
 
@@ -50,6 +51,51 @@ func TestCollectivesSweepSmall(t *testing.T) {
 	RenderCollectives(&sb, rows)
 	if !strings.Contains(sb.String(), "allreduce-ring") {
 		t.Errorf("render missing pattern name:\n%s", sb.String())
+	}
+}
+
+// TestCollectivesFidelityPreservesBytes is the harness-level differential:
+// the same sweep under flow fidelity must move exactly the bytes the packet
+// run moves, through the MPI layer and across global links (byte counters
+// are timing-independent, so they must match even though flow-mode jitter
+// draws interleave differently across concurrent messages).
+func TestCollectivesFidelityPreservesBytes(t *testing.T) {
+	cfg := CollectivesConfig{
+		Ranks:      4,
+		Sizes:      []int{32 << 10},
+		Iterations: 2,
+		Patterns:   []workload.Pattern{workload.AllreduceRing, workload.Alltoall},
+		GlobalGbps: 25,
+		Seed:       1,
+	}
+	packet, err := RunCollectivesSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fid := range []fabric.Fidelity{fabric.FidelityFlow, fabric.FidelityHybrid} {
+		cfg.Fidelity = fid
+		flow, err := RunCollectivesSweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flow) != len(packet) {
+			t.Fatalf("%v: %d rows vs %d", fid, len(flow), len(packet))
+		}
+		for i := range packet {
+			p, f := packet[i], flow[i]
+			if f.Report.MPIBytes != p.Report.MPIBytes {
+				t.Errorf("%v %s/%s/%d: MPI bytes %d, packet run %d",
+					fid, p.Placement, p.Pattern, p.Bytes, f.Report.MPIBytes, p.Report.MPIBytes)
+			}
+			if f.Report.GlobalLinkBytes != p.Report.GlobalLinkBytes {
+				t.Errorf("%v %s/%s/%d: global-link bytes %d, packet run %d",
+					fid, p.Placement, p.Pattern, p.Bytes, f.Report.GlobalLinkBytes, p.Report.GlobalLinkBytes)
+			}
+			if f.Report.TrunkDrops != 0 {
+				t.Errorf("%v %s/%s/%d: flow run dropped %d packets on a healthy fabric",
+					fid, p.Placement, p.Pattern, p.Bytes, f.Report.TrunkDrops)
+			}
+		}
 	}
 }
 

@@ -91,6 +91,10 @@ func (d *Domain) Addr() Addr { return Addr{NIC: d.ep.NICAddr(), EP: d.ep.Idx()} 
 // Info returns the opening parameters.
 func (d *Domain) Info() Info { return d.info }
 
+// SetFidelity selects the fabric fidelity (packet, flow or hybrid) for
+// this domain's subsequent sends; see fabric.Fidelity.
+func (d *Domain) SetFidelity(f fabric.Fidelity) { d.ep.SetFidelity(f) }
+
 // OnRecv registers the receive callback; src names the sending endpoint
 // (NIC address plus the initiator endpoint index the frame header carries,
 // as Cassini frames carry the initiator PID index), size the payload.

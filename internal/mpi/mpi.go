@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/caps-sim/shs-k8s/internal/fabric"
 	"github.com/caps-sim/shs-k8s/internal/libfabric"
 	"github.com/caps-sim/shs-k8s/internal/sim"
 )
@@ -119,6 +120,16 @@ func Connect(eng *sim.Engine, doms ...*libfabric.Domain) (*Comm, error) {
 
 // Size returns the number of ranks.
 func (c *Comm) Size() int { return len(c.Ranks) }
+
+// SetFidelity selects the fabric fidelity (packet, flow or hybrid) for
+// every rank's subsequent sends; see fabric.Fidelity. The workload engine
+// calls this per run, so a communicator reused across runs follows each
+// run's declared fidelity.
+func (c *Comm) SetFidelity(f fabric.Fidelity) {
+	for _, r := range c.Ranks {
+		r.dom.SetFidelity(f)
+	}
+}
 
 // BytesSent returns the total payload bytes the ranks have pushed onto the
 // wire through this communicator.

@@ -22,6 +22,8 @@ import (
 	"github.com/caps-sim/shs-k8s/internal/fabric"
 	"github.com/caps-sim/shs-k8s/internal/harness"
 	"github.com/caps-sim/shs-k8s/internal/k8s"
+	"github.com/caps-sim/shs-k8s/internal/libfabric"
+	"github.com/caps-sim/shs-k8s/internal/mpi"
 	"github.com/caps-sim/shs-k8s/internal/sim"
 	"github.com/caps-sim/shs-k8s/internal/stack"
 	"github.com/caps-sim/shs-k8s/internal/workload"
@@ -66,7 +68,7 @@ type Report struct {
 func EngineSchedule(b *testing.B) {
 	eng := sim.NewEngine(1)
 	fn := func() {}
-	base := eng.Steps
+	base := eng.Steps + eng.Elided
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -84,7 +86,7 @@ func EngineCancelHeavy(b *testing.B) {
 	fn := func() {}
 	const k = 64
 	evs := make([]sim.Event, k)
-	base := eng.Steps
+	base := eng.Steps + eng.Elided
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -130,7 +132,13 @@ func FabricGroups(groups int) func(b *testing.B) {
 			sw, _ := topo.SwitchFor(addrs[i])
 			links[i] = fabric.NewHostLink(eng, sw)
 		}
-		base := eng.Steps
+		// One packet, one link pointer and one closure for the whole run:
+		// a per-iteration literal escapes into the closure and costs two
+		// heap allocations per op; mutating hoisted state costs none.
+		var p fabric.Packet
+		var l *fabric.HostLink
+		send := func() { l.Send(&p) }
+		base := eng.Steps + eng.Elided
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
@@ -139,9 +147,9 @@ func FabricGroups(groups int) func(b *testing.B) {
 			if dst == src {
 				dst = (dst + 1) % len(addrs)
 			}
-			p := &fabric.Packet{Src: addrs[src], Dst: addrs[dst], VNI: 5, TC: fabric.TCBulkData, PayloadBytes: 1024, Frames: 1, Last: true}
-			l := links[src]
-			eng.After(0, func() { l.Send(p) })
+			p = fabric.Packet{Src: addrs[src], Dst: addrs[dst], VNI: 5, TC: fabric.TCBulkData, PayloadBytes: 1024, Frames: 1, Last: true}
+			l = links[src]
+			eng.After(0, send)
 			eng.Run()
 		}
 		b.StopTimer()
@@ -149,6 +157,117 @@ func FabricGroups(groups int) func(b *testing.B) {
 			b.Fatal("no packets forwarded")
 		}
 		reportEventRate(b, eng, base)
+	}
+}
+
+// FabricFleet returns the fleet-size scaling benchmark: a dragonfly of
+// groups × switchesPerGroup switches with nodesPerSwitch endpoints each,
+// over which every op completes 64 bulk 4 MiB transfers through the
+// flow-level fast path (FidelityFlow). The events/s metric counts elided
+// packet-fidelity events (2048 frames × 2·links+1 events per transfer), so
+// the number is directly comparable to the packet-fidelity Fabric_Groups
+// cases: the gap between them is the fast path's win, and the trend across
+// FleetN64/512/4096 is the events/s-vs-fleet-size curve the ROADMAP asks
+// for.
+func FabricFleet(groups, switchesPerGroup, nodesPerSwitch int) func(b *testing.B) {
+	return func(b *testing.B) {
+		const payload = 4 << 20
+		eng := sim.NewEngine(1)
+		cfg := fabric.DefaultConfig()
+		topo := fabric.NewTopology(eng, cfg, fabric.TopologySpec{
+			Groups: groups, SwitchesPerGroup: switchesPerGroup, NodesPerSwitch: nodesPerSwitch})
+		frames := (payload + cfg.MTU - 1) / cfg.MTU
+		nSwitches := groups * switchesPerGroup
+		addrs := make([]fabric.Addr, 0, nSwitches*nodesPerSwitch)
+		links := make([]*fabric.HostLink, 0, nSwitches*nodesPerSwitch)
+		for i := 0; i < nSwitches; i++ {
+			for k := 0; k < nodesPerSwitch; k++ {
+				addr := topo.Attach(i, fabricSink{})
+				if err := topo.GrantVNI(addr, 5); err != nil {
+					b.Fatal(err)
+				}
+				sw, _ := topo.SwitchFor(addr)
+				addrs = append(addrs, addr)
+				links = append(links, fabric.NewHostLink(eng, sw))
+			}
+		}
+		n := len(addrs)
+		senders := 64
+		if senders > n {
+			senders = n
+		}
+		var p fabric.Packet // hoisted: see FabricGroups
+		base := eng.Steps + eng.Elided
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < senders; j++ {
+				src := (i*senders + j) % n
+				dst := (src + n/2) % n // always a different switch: n/2 ≥ nodesPerSwitch
+				p = fabric.Packet{Src: addrs[src], Dst: addrs[dst], VNI: 5, TC: fabric.TCBulkData,
+					PayloadBytes: payload, Frames: frames, Last: true}
+				if _, ok := links[src].SendFlow(&p, fabric.FidelityFlow, frames); !ok {
+					b.Fatalf("flow path refused transfer %d->%d", src, dst)
+				}
+			}
+			eng.Run()
+		}
+		b.StopTimer()
+		if topo.Stats().Forwarded == 0 {
+			b.Fatal("no transfers completed")
+		}
+		reportEventRate(b, eng, base)
+	}
+}
+
+// CollectivesFidelity returns the end-to-end fidelity contrast case: an
+// 8-rank, 1 MiB ring allreduce on a single-group dragonfly, run through
+// the full stack (CXI NIC model, libfabric, MPI) at the given fabric
+// fidelity. CoalesceFrames is disabled so the packet run pays the true
+// frame-granular event cost a bulk transfer implies — the contrast between
+// Collectives_Flow and Collectives_Packet is then the tentpole's win on an
+// uncontended bulk collective, in both wall time and events/s.
+func CollectivesFidelity(fid fabric.Fidelity) func(b *testing.B) {
+	return func(b *testing.B) {
+		const ranks = 8
+		opts := stack.DefaultOptions()
+		opts.Nodes = ranks
+		opts.Topology = fabric.TopologySpec{Groups: 1, SwitchesPerGroup: 4, NodesPerSwitch: 2}
+		opts.Device.CoalesceFrames = false
+		st := stack.New(opts)
+		st.Eng.RunFor(time.Second)
+		var doms []*libfabric.Domain
+		for n := 0; n < ranks; n++ {
+			proc, err := st.Kernel.Spawn(fmt.Sprintf("bench-rank%d", n), 1000, 1000, 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			d, err := libfabric.OpenDomain(st.Eng, libfabric.Info{
+				Device: st.Nodes[n].Device, Caller: proc.PID, VNI: 1, TC: fabric.TCBulkData})
+			if err != nil {
+				b.Fatal(err)
+			}
+			doms = append(doms, d)
+		}
+		comm, err := mpi.Connect(st.Eng, doms...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := workload.Spec{Pattern: workload.AllreduceRing, Bytes: 1 << 20, Iterations: 2, Fidelity: fid}
+		base := st.Eng.Steps + st.Eng.Elided
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			finished := false
+			if err := workload.Run(st.Eng, comm, st.Topo, spec, func(workload.Report) { finished = true }); err != nil {
+				b.Fatal(err)
+			}
+			st.Eng.Run()
+			if !finished {
+				b.Fatal("collective never completed")
+			}
+		}
+		reportEventRate(b, st.Eng, base)
 	}
 }
 
@@ -205,7 +324,7 @@ func SchedulerPlacement(b *testing.B) {
 	st := stack.New(opts)
 	st.Cluster.CreateNamespace("bench")
 	st.Eng.RunFor(time.Second)
-	base := st.Eng.Steps // exclude fleet-bootstrap events from the rate
+	base := st.Eng.Steps + st.Eng.Elided // exclude fleet-bootstrap events from the rate
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -219,13 +338,17 @@ func SchedulerPlacement(b *testing.B) {
 }
 
 // reportEventRate publishes the simulated-event throughput of the engine
-// the benchmark drove: events retired since setupSteps (the engine's Steps
+// the benchmark drove: events retired since base (the engine's Steps+Elided
 // reading when the timed region began), divided by the benchmark's timed
-// wall clock. Passing the post-setup snapshot keeps untimed bootstrap
-// events (e.g. fleet assembly) out of the rate BENCH_*.json records.
-func reportEventRate(b *testing.B, eng *sim.Engine, setupSteps uint64) {
+// wall clock. Elided events count — they are packet-fidelity-equivalent
+// work the flow fast path completed in closed form — so throughput stays
+// comparable across fidelity modes; for packet-only cases Elided is zero
+// and the metric is unchanged. Passing the post-setup snapshot keeps
+// untimed bootstrap events (e.g. fleet assembly) out of the rate
+// BENCH_*.json records.
+func reportEventRate(b *testing.B, eng *sim.Engine, base uint64) {
 	if s := b.Elapsed().Seconds(); s > 0 {
-		b.ReportMetric(float64(eng.Steps-setupSteps)/s, "events/s")
+		b.ReportMetric(float64(eng.Steps+eng.Elided-base)/s, "events/s")
 	}
 }
 
@@ -237,7 +360,12 @@ func Suite() []Case {
 		{Name: "Fabric_Groups1", Bench: FabricGroups(1)},
 		{Name: "Fabric_Groups4", Bench: FabricGroups(4)},
 		{Name: "Fabric_Groups16", Bench: FabricGroups(16)},
+		{Name: "Fabric_FleetN64", Bench: FabricFleet(8, 2, 4)},
+		{Name: "Fabric_FleetN512", Bench: FabricFleet(16, 4, 8)},
+		{Name: "Fabric_FleetN4096", Bench: FabricFleet(32, 8, 16)},
 		{Name: "Collectives", Bench: Collectives},
+		{Name: "Collectives_Packet", Bench: CollectivesFidelity(fabric.FidelityPacket)},
+		{Name: "Collectives_Flow", Bench: CollectivesFidelity(fabric.FidelityFlow)},
 		{Name: "SchedulerPlacement", Bench: SchedulerPlacement},
 	}
 }

@@ -116,6 +116,9 @@ func EmitYAML(sc *Scenario) []byte {
 			if ts.Compute > 0 {
 				kv(4, "compute", ts.Compute.String())
 			}
+			if ts.Fidelity != "" && ts.Fidelity != "packet" {
+				kv(4, "fidelity", ts.Fidelity)
+			}
 		}
 	}
 

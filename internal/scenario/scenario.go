@@ -92,17 +92,24 @@ type TrafficSpec struct {
 	Iterations int
 	// Compute is simulated application compute between iterations.
 	Compute sim.Duration
+	// Fidelity is the fabric execution mode ("packet", "flow" or "hybrid";
+	// "" means packet). See fabric.Fidelity and docs/performance.md.
+	Fidelity string
 	// Line anchors errors to the source file.
 	Line int
 }
 
 // Workload converts the spec into the workload engine's form.
 func (t TrafficSpec) Workload() workload.Spec {
+	// Validate already vetted the string; an unknown name maps to the
+	// packet default here.
+	fid, _ := fabric.ParseFidelity(t.Fidelity)
 	return workload.Spec{
 		Pattern:    workload.Pattern(t.Pattern),
 		Bytes:      t.Bytes,
 		Iterations: t.Iterations,
 		Compute:    t.Compute,
+		Fidelity:   fid,
 	}
 }
 
@@ -417,6 +424,11 @@ func (sc *Scenario) decodeTraffic(v *value) error {
 					return sc.errAt(c.line, "traffic.compute: not a duration: %q", c.scalar)
 				}
 				ts.Compute = d
+			case "fidelity":
+				if _, err := fabric.ParseFidelity(c.scalar); err != nil {
+					return sc.errAt(c.line, "traffic.fidelity: %v", err)
+				}
+				ts.Fidelity = c.scalar
 			default:
 				return sc.errAt(c.line, "traffic: unknown key %q", key)
 			}
@@ -648,6 +660,12 @@ func (sc *Scenario) Validate() error {
 			return sc.errAt(ts.Line, "traffic: duplicate name %q", ts.Name)
 		}
 		traffic[ts.Name] = true
+		// Workload() maps unknown fidelity names to the packet default, so
+		// vet the string here (it also covers specs built programmatically,
+		// e.g. by the fuzzer's generator).
+		if _, err := fabric.ParseFidelity(ts.Fidelity); err != nil {
+			return sc.errAt(ts.Line, "traffic %q: %v", ts.Name, err)
+		}
 		if err := ts.Workload().Validate(); err != nil {
 			return sc.errAt(ts.Line, "traffic %q: %v", ts.Name, err)
 		}

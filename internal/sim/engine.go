@@ -89,6 +89,13 @@ type Engine struct {
 	rng   *rand.Rand
 	// Steps counts executed events, useful as a runaway guard in tests.
 	Steps uint64
+	// Elided counts events skipped by analytic fast paths (the fabric's
+	// flow-level transfer mode): events that would have been scheduled and
+	// retired under full packet fidelity, but whose effects were applied in
+	// closed form instead. Steps+Elided is therefore the packet-fidelity-
+	// equivalent event count, the basis of perfsuite's events/s metric, so
+	// throughput numbers stay comparable across fidelity modes.
+	Elided uint64
 }
 
 // NewEngine returns an engine whose randomness derives from seed.

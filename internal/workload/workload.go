@@ -57,6 +57,9 @@ type Spec struct {
 	// Compute is simulated application compute between iterations
 	// (0 = back-to-back communication).
 	Compute sim.Duration
+	// Fidelity is the fabric execution mode for the run; the zero value is
+	// exact packet fidelity (see fabric.Fidelity).
+	Fidelity fabric.Fidelity
 }
 
 // DefaultSpec is a moderate allreduce loop.
@@ -77,6 +80,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Compute < 0 {
 		return fmt.Errorf("workload: negative compute %v", s.Compute)
+	}
+	if s.Fidelity > fabric.FidelityHybrid {
+		return fmt.Errorf("workload: unknown fidelity %d", s.Fidelity)
 	}
 	return nil
 }
@@ -120,6 +126,9 @@ func RunProgress(eng *sim.Engine, comm *mpi.Comm, topo *fabric.Topology, spec Sp
 	if err := spec.Validate(); err != nil {
 		return err
 	}
+	// Always set, so a communicator reused across runs picks up each run's
+	// fidelity (including the packet default resetting an earlier flow run).
+	comm.SetFidelity(spec.Fidelity)
 	start := eng.Now()
 	startBytes := comm.BytesSent()
 	var startGlobal, startDrops uint64
