@@ -49,11 +49,34 @@ func main() {
 	for _, p := range problems {
 		fmt.Fprintf(os.Stderr, "perfcheck: %s\n", p)
 	}
+	// Fresh-only cases are fine — adding benchmarks must not trip the
+	// missing-case guard in reverse — but they should be visible, so the
+	// next baseline refresh knows to adopt them.
+	for _, name := range newCases(base, cur) {
+		fmt.Printf("perfcheck: new case %s (not in baseline; informational)\n", name)
+	}
 	if len(problems) > 0 {
 		fmt.Fprintf(os.Stderr, "perfcheck: %d regression(s) vs %s\n", len(problems), *baseline)
 		os.Exit(1)
 	}
 	fmt.Printf("perfcheck: %d cases within +%.0f%% of %s\n", len(base.Cases), *maxRegress*100, *baseline)
+}
+
+// newCases lists fresh-run cases absent from the baseline, in fresh-run
+// order. They never fail the guard; main prints them so added benchmarks
+// don't vanish silently until the baseline is regenerated.
+func newCases(base, fresh *perfsuite.Report) []string {
+	known := make(map[string]bool, len(base.Cases))
+	for _, b := range base.Cases {
+		known[b.Name] = true
+	}
+	var names []string
+	for _, f := range fresh.Cases {
+		if !known[f.Name] {
+			names = append(names, f.Name)
+		}
+	}
+	return names
 }
 
 func load(path string) (*perfsuite.Report, error) {

@@ -109,3 +109,25 @@ func TestLoadRoundTrip(t *testing.T) {
 		t.Errorf("round-trip mismatch: %+v", rep)
 	}
 }
+
+// TestNewCasesInformational: fresh-only benchmarks are reported by name
+// (so a baseline refresh can adopt them) but never flagged as
+// regressions — the missing-case guard must not fire in reverse.
+func TestNewCasesInformational(t *testing.T) {
+	base := report(perfsuite.Result{Name: "A", NsPerOp: 100})
+	fresh := report(
+		perfsuite.Result{Name: "A", NsPerOp: 100},
+		perfsuite.Result{Name: "HealthDaemonTick", NsPerOp: 42, AllocsPerOp: 7},
+		perfsuite.Result{Name: "RemediateDrain", NsPerOp: 17},
+	)
+	if got := check(base, fresh, 0.30); len(got) != 0 {
+		t.Errorf("new cases flagged as regressions: %v", got)
+	}
+	got := newCases(base, fresh)
+	if len(got) != 2 || got[0] != "HealthDaemonTick" || got[1] != "RemediateDrain" {
+		t.Errorf("newCases = %v, want fresh-run order [HealthDaemonTick RemediateDrain]", got)
+	}
+	if got := newCases(base, base); len(got) != 0 {
+		t.Errorf("identical reports produced new cases: %v", got)
+	}
+}

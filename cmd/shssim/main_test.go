@@ -221,6 +221,24 @@ func TestInteractiveRejectsBadFlags(t *testing.T) {
 	}
 }
 
+// TestFuzzReplayBrokenFile locks the triage contract: `shssim fuzz
+// -replay` on a file the parser chokes on reports the file on stderr and
+// exits 1 — it must never panic or pretend the replay ran clean.
+func TestFuzzReplayBrokenFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mangled.yaml")
+	if err := os.WriteFile(path, []byte("events: [oops\n\t???"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"fuzz", "-replay", path}, &out, &errb); code != 1 {
+		t.Fatalf("broken corpus file exited %d, want 1\nstdout:%s\nstderr:%s",
+			code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "mangled.yaml") {
+		t.Errorf("stderr does not name the broken file: %s", errb.String())
+	}
+}
+
 func TestUnknownCommand(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"frobnicate"}, &out, &errb); code != 2 {

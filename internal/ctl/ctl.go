@@ -209,6 +209,14 @@ func (s *Server) Execute(w io.Writer, line string) bool {
 		s.exec(w, &scenario.Event{Action: action, Target: args[0]})
 	case "fail-link", "recover-link":
 		s.linkCmd(w, cmd, args)
+	case "health":
+		s.health(w)
+	case "remediate":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "usage: remediate <node>")
+			return false
+		}
+		s.exec(w, &scenario.Event{Action: "remediate", Target: args[0]})
 	case "run-traffic":
 		s.runTraffic(w, args)
 	case "step":
@@ -241,6 +249,8 @@ func (s *Server) help(w io.Writer) {
   recover-nic <node>             recover it
   fail-link <a> <b> [idx]        fail global link(s) between groups a and b
   recover-link <a> <b> [idx]     recover them
+  health                         health daemon view: node states, bad links, remediations
+  remediate <node>               drain, replace and uncordon a node (needs a health: section)
   run-traffic <pattern> <bytes>  run a 10-iteration collective over all nodes
   step <duration>                advance the virtual clock
   run-until-idle                 run until no work is pending (60s cap)
@@ -394,6 +404,37 @@ func (s *Server) runTraffic(w io.Writer, args []string) {
 		if err != nil {
 			fmt.Fprintf(w, "error: %s: %v\n", ev.Action, err)
 			return
+		}
+	}
+}
+
+// health renders the daemon's node table, any down or flapping links,
+// and the remediation controller's runs.
+func (s *Server) health(w io.Writer) {
+	nodes, links, ok := s.ops.HealthSnapshot()
+	if !ok {
+		fmt.Fprintln(w, "error: health loop disabled (boot a scenario with a health: section)")
+		return
+	}
+	fmt.Fprintf(w, "%-10s %-10s %10s\n", "node", "state", "err/s")
+	for _, n := range nodes {
+		fmt.Fprintf(w, "%-10s %-10s %10.1f\n", n.Name, n.State, n.ErrorRate)
+	}
+	header := false
+	for _, l := range links {
+		if !l.Down && !l.Flapping {
+			continue
+		}
+		if !header {
+			header = true
+			fmt.Fprintf(w, "%-14s %-5s %s\n", "link", "down", "flapping")
+		}
+		fmt.Fprintf(w, "%-14s %-5v %v\n", l.Key, l.Down, l.Flapping)
+	}
+	if runs, ok := s.ops.RemediationStatus(); ok && len(runs) > 0 {
+		fmt.Fprintf(w, "%-10s %-12s %s\n", "node", "phase", "retries")
+		for _, r := range runs {
+			fmt.Fprintf(w, "%-10s %-12s %7d\n", r.Node, r.Phase, r.Retries)
 		}
 	}
 }

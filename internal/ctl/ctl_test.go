@@ -158,6 +158,14 @@ func TestCommandErrors(t *testing.T) {
 		{"cordon nope\n", "error:"},
 		{"links -top x\n", "-top wants a positive integer"},
 		{"metrics\n", "telemetry disabled"},
+		// The default fleet boots without a health: section, so the
+		// health-loop commands must refuse with a pointer to the fix, and
+		// malformed link coordinates must name the bad value, not panic.
+		{"health\n", "health loop disabled"},
+		{"remediate\n", "usage: remediate <node>"},
+		{"remediate node0\n", "health loop disabled"},
+		{"fail-link 0 1 9\n", "no index 9"},
+		{"fail-link 0 9 0\n", "error:"},
 	}
 	for _, tc := range cases {
 		got := runSession(t, nil, tc.script+"quit\n")
@@ -265,5 +273,69 @@ func TestSocketSession(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Errorf("socket file not cleaned up: %v", err)
+	}
+}
+
+// TestSocketSurvivesAbruptDisconnect: a client that drops its connection
+// without sending quit must not take the server down — the listener goes
+// back to Accept and serves the next session, and only an explicit quit
+// ends ServeSocket.
+func TestSocketSurvivesAbruptDisconnect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ctl.sock")
+	srv, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeSocket(path) }()
+
+	dial := func() net.Conn {
+		t.Helper()
+		var conn net.Conn
+		var derr error
+		for i := 0; i < 100; i++ {
+			if conn, derr = net.Dial("unix", path); derr == nil {
+				return conn
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("dial: %v", derr)
+		return nil
+	}
+
+	// Session 1: run a command mid-stream, then hang up without quit.
+	conn := dial()
+	if _, err := conn.Write([]byte("nodes\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	conn.Close()
+	select {
+	case err := <-done:
+		t.Fatalf("server exited on client disconnect: %v", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	// Session 2 on the same listener still works and can end the server.
+	conn = dial()
+	if _, err := conn.Write([]byte("jobs\nquit\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(conn); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	conn.Close()
+	for _, want := range []string{"shssim> jobs", "bye"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("second session transcript missing %q:\n%s", want, out.String())
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("ServeSocket: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("ServeSocket did not return after quit")
 	}
 }

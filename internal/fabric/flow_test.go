@@ -307,3 +307,116 @@ func TestFlowConservation(t *testing.T) {
 		t.Errorf("drops = %d, want exactly the one packet-path drop", st.DropTotal())
 	}
 }
+
+// TestFlowFrozenRouteSurvivesMidFlightFailure pins the second fidelity
+// caveat documented on flowSend: a committed flow-level transfer froze its
+// route at send time, so a link on that route failing while the transfer
+// is "on the wire" neither drops nor reroutes it — delivery stays
+// identical to an undisturbed run, in time and bytes. After the failure
+// the fast path declines fresh transfers over the dead route at both flow
+// and hybrid fidelity, and the packet path — hybrid's fallback — inherits
+// the event with its own drop accounting; recovery re-opens the fast path
+// through the bumped route epoch.
+func TestFlowFrozenRouteSurvivesMidFlightFailure(t *testing.T) {
+	const payload = 4 << 20
+
+	// Control: the a0→c transfer (intra + global + intra) undisturbed.
+	ctl := newFlowFixture(t, 1, testConfig())
+	var wantDone sim.Time
+	ctl.eng.After(0, func() {
+		at, ok := ctl.link0.SendFlow(ctl.packet(ctl.a0, ctl.c, payload), FidelityFlow, 1)
+		if !ok {
+			t.Fatal("control transfer refused")
+		}
+		wantDone = at
+	})
+	ctl.eng.Run()
+	ctlSink := ctl.sinks[ctl.c]
+	if len(ctlSink.at) != 1 {
+		t.Fatalf("control run delivered %d packets, want 1", len(ctlSink.at))
+	}
+
+	// Failure run, same seed: commit the identical transfer, then fail the
+	// one global link on its frozen route mid-flight — well after the
+	// commit, well before the planned delivery.
+	f := newFlowFixture(t, 1, testConfig())
+	var done sim.Time
+	f.eng.After(0, func() {
+		at, ok := f.link0.SendFlow(f.packet(f.a0, f.c, payload), FidelityFlow, 1)
+		if !ok {
+			t.Fatal("transfer refused before the failure")
+		}
+		done = at
+	})
+	f.eng.After(time.Microsecond, func() {
+		if err := f.topo.SetGlobalLinkDown(0, 1, 0, true); err != nil {
+			t.Error(err)
+		}
+	})
+	f.eng.Run()
+
+	if done != wantDone {
+		t.Errorf("local completion moved to %v, control %v", done, wantDone)
+	}
+	sink := f.sinks[f.c]
+	if len(sink.at) != 1 || sink.at[0] != ctlSink.at[0] || sink.bytes[0] != payload {
+		t.Errorf("delivery (%v, %v) differs from control (%v, [%d])",
+			sink.at, sink.bytes, ctlSink.at, payload)
+	}
+	if st := f.topo.Stats(); st.DropTotal() != 0 {
+		t.Errorf("committed transfer charged %d drop(s)", st.DropTotal())
+	}
+	// The frozen route charged the now-dead global link exactly as the
+	// control run did: the bytes were committed before the failure.
+	gid := f.topo.GlobalLinks(0, 1)[0]
+	linkStats := func(fx *flowFixture) (LinkStats, bool) {
+		for _, li := range fx.topo.Links() {
+			if li.ID == gid {
+				return li.Stats, true
+			}
+		}
+		return LinkStats{}, false
+	}
+	got, okG := linkStats(f)
+	want, okC := linkStats(ctl)
+	if !okG || !okC || got != want {
+		t.Errorf("dead global link stats %+v, control %+v", got, want)
+	}
+
+	// With the sole global link down, fresh fast-path sends decline at
+	// both fidelities and the packet path owns the event: that handoff is
+	// hybrid's fallback contract for the same failure.
+	var reasons []DropReason
+	f.topo.OnDrop(func(p *Packet, r DropReason) { reasons = append(reasons, r) })
+	f.eng.After(0, func() {
+		if _, ok := f.link0.SendFlow(f.packet(f.a0, f.c, 4096), FidelityFlow, 1); ok {
+			t.Error("flow fast path accepted a transfer over the dead global link")
+		}
+		if _, ok := f.link0.SendFlow(f.packet(f.a0, f.c, 4096), FidelityHybrid, 1); ok {
+			t.Error("hybrid fast path accepted a transfer over the dead global link")
+		}
+		f.link0.Send(f.packet(f.a0, f.c, 4096))
+	})
+	f.eng.Run()
+	if len(sink.at) != 1 {
+		t.Errorf("a packet crossed the dead route: deliveries %v", sink.at)
+	}
+	if len(reasons) != 1 || reasons[0] != DropLinkDown {
+		t.Errorf("packet-path drop reasons %v, want exactly one DropLinkDown", reasons)
+	}
+
+	// Recovery bumps the route epoch; the hybrid fast path re-plans the
+	// same route and accepts again.
+	f.eng.After(0, func() {
+		if err := f.topo.SetGlobalLinkDown(0, 1, 0, false); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := f.link0.SendFlow(f.packet(f.a0, f.c, 4096), FidelityHybrid, 1); !ok {
+			t.Error("hybrid fast path still declines after link recovery")
+		}
+	})
+	f.eng.Run()
+	if len(sink.at) != 2 || sink.bytes[1] != 4096 {
+		t.Errorf("post-recovery transfer not delivered: %v %v", sink.at, sink.bytes)
+	}
+}

@@ -109,7 +109,17 @@ func WriteReproducer(dir string, sc *scenario.Scenario, v Violation, index int) 
 // Replay parses a reproducer file and re-runs it under the full invariant
 // battery, printing the outcome to out. It returns the violations found
 // (nil when the file now runs clean).
-func Replay(path string, out io.Writer) ([]Violation, error) {
+//
+// A corpus file is operator input — hand-edited, truncated, or written by
+// an older schema — so whatever it does to the parser or the engine comes
+// back as an error naming the file, never a panic: replay is the triage
+// tool, and a broken reproducer must not take the triage tool down.
+func Replay(path string, out io.Writer) (vs []Violation, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			vs, err = nil, fmt.Errorf("replay %s: panic: %v", path, p)
+		}
+	}()
 	sc, err := scenario.ParseFile(path)
 	if err != nil {
 		return nil, err

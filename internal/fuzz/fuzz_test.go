@@ -3,6 +3,7 @@ package fuzz
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -59,6 +60,38 @@ func TestGeneratorCoverage(t *testing.T) {
 	for _, want := range []string{"multigroup", "striping", "baseline", "fault", "traffic", "churn", "probe"} {
 		if !seen[want] {
 			t.Errorf("200 generated specs never exercised %q", want)
+		}
+	}
+}
+
+// TestGeneratorCoversHealthLoop checks the generator reaches the health
+// loop's fault families: specs with a health: section, slow-drain NICs,
+// operator remediations, flapping trunks, and the quiesce wait that arms
+// the remediation invariant.
+func TestGeneratorCoversHealthLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		sc := Generate(rng, DefaultConfig())
+		if sc.Health.Enabled() {
+			seen["health"] = true
+		}
+		for _, ev := range sc.Events {
+			switch ev.Action {
+			case "slow_drain_nic":
+				seen["slow_drain"] = true
+			case "flap_trunk":
+				seen["flap"] = true
+			case "remediate":
+				seen["remediate"] = true
+			case "wait_remediated":
+				seen["quiesce"] = true
+			}
+		}
+	}
+	for _, want := range []string{"health", "slow_drain", "flap", "remediate", "quiesce"} {
+		if !seen[want] {
+			t.Errorf("300 generated specs never exercised %q", want)
 		}
 	}
 }
@@ -213,6 +246,120 @@ func TestWriteReproducerNamesViolation(t *testing.T) {
 	}
 	if !strings.Contains(re.Description, "example divergence") {
 		t.Errorf("description %q does not carry the violation", re.Description)
+	}
+}
+
+// TestReplayBrokenCorpusFile locks the triage path: a corpus file the
+// parser chokes on — hand-edited, truncated, or plain missing — must come
+// back as an error naming the file, never a panic and never exit-worthy
+// violations.
+func TestReplayBrokenCorpusFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	unparseable := write("mangled.yaml", "name: [unterminated\n  events\n\t- at: nonsense")
+	empty := write("empty.yaml", "")
+	badRef := write("badref.yaml", strings.Join([]string{
+		"name: bad-ref",
+		"events:",
+		"  - at: 0s",
+		"    action: submit_job",
+		"    tenant: ghost", // unknown tenant: fails Validate, not the parser
+		"    name: j",
+		"    pods: '2'",
+	}, "\n"))
+	cases := []struct {
+		name, path string
+	}{
+		{"unparseable", unparseable},
+		{"empty", empty},
+		{"bad-reference", badRef},
+		{"missing", filepath.Join(dir, "no-such-file.yaml")},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			violations, err := Replay(tc.path, &out)
+			if err == nil {
+				t.Fatalf("expected an error, got violations=%v output=%q", violations, out.String())
+			}
+			if !strings.Contains(err.Error(), filepath.Base(tc.path)) {
+				t.Errorf("error %q does not name the corpus file %s", err, tc.path)
+			}
+			if violations != nil {
+				t.Errorf("broken file yielded violations: %v", violations)
+			}
+		})
+	}
+
+	// Control: a well-formed reproducer still replays clean.
+	good, err := WriteReproducer(dir, routingBugSpec(t),
+		Violation{Name: VioRouting, Detail: "control"}, 0)
+	if err != nil {
+		t.Fatalf("write control reproducer: %v", err)
+	}
+	var out bytes.Buffer
+	violations, err := Replay(good, &out)
+	if err != nil || len(violations) != 0 {
+		t.Fatalf("control replay not clean: violations=%v err=%v", violations, err)
+	}
+	if !strings.Contains(out.String(), "all invariants hold") {
+		t.Errorf("control replay output %q lacks the ok line", out.String())
+	}
+}
+
+// remediationBugSpec builds a health-enabled spec whose operator cordon is
+// never cleared: the remediation controller only adopts nodes carrying the
+// health annotation, so a bare scheduler cordon survives to end of run and
+// the remediation-quiesce invariant must flag it.
+func remediationBugSpec(t *testing.T) *scenario.Scenario {
+	t.Helper()
+	sc := &scenario.Scenario{Name: "remediation-bug-probe", Seed: 5}
+	sc.Fleet = scenario.Fleet{
+		Nodes: 2, VNIService: true, VNIPoolMin: 1024, VNIPoolMax: 65535,
+		Quarantine: 30 * time.Second,
+		Tenants:    []scenario.Tenant{{Name: "t0"}},
+	}
+	sc.Health = scenario.HealthSpec{CheckEvery: 50 * time.Millisecond}
+	sc.Events = []scenario.Event{
+		{At: 0, Action: "start_fleet", Params: map[string]string{}},
+		{At: 10 * time.Millisecond, Action: "cordon", Target: "node0", Params: map[string]string{}},
+		{At: 20 * time.Millisecond, Action: "run_for", Params: map[string]string{"duration": "200ms"}},
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("bug spec invalid: %v", err)
+	}
+	return sc
+}
+
+// TestRemediationQuiesceInvariant is the VioRemediation self-test: a node
+// left cordoned after the health loop quiesced must be flagged, and the
+// same spec without the dangling cordon must run clean.
+func TestRemediationQuiesceInvariant(t *testing.T) {
+	rep := Execute(remediationBugSpec(t))
+	v := rep.Violation(VioRemediation)
+	if v == nil {
+		t.Fatalf("dangling cordon not caught; violations: %v", rep.Violations)
+	}
+	if !strings.Contains(v.Detail, "node0") {
+		t.Errorf("violation does not name the node: %s", v.Detail)
+	}
+
+	clean := remediationBugSpec(t)
+	clean.Events = append(clean.Events,
+		scenario.Event{At: 30 * time.Millisecond, Action: "uncordon", Target: "node0",
+			Params: map[string]string{}})
+	if err := clean.Validate(); err != nil {
+		t.Fatalf("clean spec invalid: %v", err)
+	}
+	if rep := Execute(clean); len(rep.Violations) != 0 {
+		t.Fatalf("expected clean run once uncordoned, got %v", rep.Violations)
 	}
 }
 

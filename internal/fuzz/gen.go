@@ -170,6 +170,7 @@ func Generate(rng *rand.Rand, cfg Config) *scenario.Scenario {
 	}
 
 	g.genFaults(cfg, groups, spg, nodes)
+	g.genHealth(groups, spg, nodes, tenants)
 	if vniService {
 		g.genTraffic(cfg, tenants)
 	}
@@ -256,6 +257,88 @@ func (g *genState) genFaults(cfg Config, groups, spg, nodes int) {
 	for _, r := range recs {
 		g.event(g.tick(), r.action, r.target, r.params...)
 	}
+}
+
+// genHealth (about a third of specs): enable the autonomous health loop
+// and drive it with the gray failures it exists to catch — slow-drain
+// NICs, operator remediations, a flapping trunk — then wait for the
+// remediation controller to fully quiesce and for every anchor gang to
+// be whole again. The ordering mirrors genFaults: the chaos heals before
+// traffic runs, so a later stall still indicts the engine. Specs built
+// here additionally arm the harness's remediation-quiesce invariant
+// (VioRemediation), which re-checks cordon state after the final queue
+// drain.
+func (g *genState) genHealth(groups, spg, nodes, tenants int) {
+	if g.rng.Intn(3) != 0 {
+		return
+	}
+	// Fast loop tuning so one detect→cordon→drain→replace→uncordon cycle
+	// fits well inside the generated timeline.
+	g.sc.Health = scenario.HealthSpec{
+		CheckEvery:      50 * time.Millisecond,
+		ErrorsPerSecond: 50,
+		DegradeTicks:    2,
+		DrainGrace:      50 * time.Millisecond,
+		ReplaceDelay:    100 * time.Millisecond,
+	}
+	if g.rng.Intn(2) == 0 {
+		g.sc.Health.Budget = 1 + g.rng.Intn(2)
+	}
+	// Distinct target nodes: re-cordoning a node already in the loop is
+	// adoption-deduped, which would make the remediation count ambiguous.
+	perm := g.rng.Perm(nodes)
+	next := 0
+	want := 0
+	for i, n := 0, 1+g.rng.Intn(2); i < n; i++ {
+		switch choice := g.rng.Intn(3); {
+		case choice <= 1 && next < len(perm):
+			node := fmt.Sprintf("node%d", perm[next])
+			next++
+			want++
+			if choice == 0 {
+				// duration is a backstop: remediation's replace stops the
+				// injector, but a shrunk spec may have lost that path and
+				// an unbounded injector would tick forever.
+				g.event(g.tick(), "slow_drain_nic", node,
+					"rate", strconv.Itoa(500*(1+g.rng.Intn(4))), "duration", "2s")
+			} else {
+				g.event(g.tick(), "remediate", node)
+			}
+		case choice == 2 && spg >= 2:
+			grp := g.rng.Intn(groups)
+			a := grp*spg + g.rng.Intn(spg)
+			b := grp*spg + g.rng.Intn(spg)
+			for b == a {
+				b = grp*spg + g.rng.Intn(spg)
+			}
+			count := 2 + g.rng.Intn(2)
+			g.event(g.tick(), "flap_trunk", "",
+				"switches", fmt.Sprintf("%d,%d", a, b),
+				"period", "100ms", "count", strconv.Itoa(count))
+			// Let the bounded flap train finish (the link ends up) before
+			// later events run traffic over it.
+			g.event(g.tick(), "run_for", "",
+				"duration", fmt.Sprintf("%dms", count*100+100))
+		}
+	}
+	// Quiesce even when nothing was injected here: a NIC fault from
+	// genFaults can trip the daemon on its own, and nothing below may
+	// start until every such remediation has drained, replaced and
+	// uncordoned.
+	g.event(g.tick(), "wait_remediated", "", "count", strconv.Itoa(want), "timeout", "60s")
+	for i := 0; i < tenants; i++ {
+		// Drained anchor pods are recreated by the job controller; the
+		// gangs must be whole again before traffic runs and before the
+		// pods_running assertions are evaluated.
+		g.event(g.tick(), "wait_running", "",
+			"tenant", g.sc.Fleet.Tenants[i].Name, "job", "anchor",
+			"pods", strconv.Itoa(g.anchorPods[i]), "timeout", "60s")
+	}
+	g.sc.Assertions = append(g.sc.Assertions,
+		// >= not ==: genFaults' NIC faults can trigger remediations of
+		// their own on top of the injections counted here.
+		scenario.Assertion{Type: "remediations_done", Op: ">=", Value: strconv.Itoa(want)},
+		scenario.Assertion{Type: "nodes_cordoned", Op: "==", Value: "0"})
 }
 
 // genTraffic emits pingpong and collective runs over the tenants' anchor

@@ -117,7 +117,9 @@ func fingerprintOf(st *stack.Stack, res *scenario.Result) *fingerprint {
 //     heal when a link recovers and be invisible at end of run;
 //   - at end of run: drain the event queue under a step budget (stuck
 //     detection), then re-check integrity and routing and verify packet
-//     and byte conservation per switch and fabric-wide;
+//     and byte conservation per switch and fabric-wide; on specs with a
+//     health: section, additionally verify the remediation loop quiesced
+//     (no node left cordoned, scheduler and API cordon views agree);
 //   - then the whole run repeats and both fingerprints must match
 //     (determinism oracle).
 //
@@ -184,6 +186,12 @@ func runOnce(sc *scenario.Scenario, rep *Report) *fingerprint {
 			if v := checkConservation(st); v != nil {
 				rep.add(*v)
 				return
+			}
+			if sc.Health.Enabled() {
+				if v := checkRemediation(st); v != nil {
+					rep.add(*v)
+					return
+				}
 			}
 			fp = fingerprintOf(st, res)
 		},

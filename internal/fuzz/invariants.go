@@ -3,6 +3,7 @@ package fuzz
 import (
 	"fmt"
 
+	"github.com/caps-sim/shs-k8s/internal/k8s"
 	"github.com/caps-sim/shs-k8s/internal/stack"
 )
 
@@ -43,6 +44,13 @@ const (
 	// VioNondeterminism: two runs of the same spec at the same seed
 	// produced different fingerprints.
 	VioNondeterminism = "nondeterminism"
+	// VioRemediation: the autonomous health loop failed to quiesce —
+	// after the event queue drained (every in-flight remediation ran
+	// out), a node was still cordoned in the scheduler or still marked
+	// Unschedulable in the API. Only checked on specs with a health:
+	// section; without one, cordons are manual and may legitimately
+	// outlive the run.
+	VioRemediation = "remediation_quiesce"
 )
 
 // checkSim wraps the engine's structural self-check (event-arena handle
@@ -60,6 +68,31 @@ func checkSim(st *stack.Stack) *Violation {
 func checkRouting(st *stack.Stack) *Violation {
 	if err := st.Topo.VerifyRoutes(); err != nil {
 		return &Violation{Name: VioRouting, Detail: err.Error()}
+	}
+	return nil
+}
+
+// checkRemediation verifies the health loop quiesced: with the event
+// queue drained, no node may remain cordoned — every node the daemon (or
+// an operator remediate) cordoned must have been drained, replaced and
+// uncordoned, and the scheduler's view must agree with the API's
+// Node.Spec.Unschedulable. A disagreement means the watch that mirrors
+// API cordons into the scheduler lost an update.
+func checkRemediation(st *stack.Stack) *Violation {
+	for _, n := range st.Nodes {
+		sched := st.Cluster.Scheduler.Cordoned(n.Name)
+		api := false
+		if obj, ok := st.Cluster.Client.Get(k8s.KindNode, "", n.Name); ok {
+			api = obj.(*k8s.Node).Spec.Unschedulable
+		}
+		switch {
+		case sched && api:
+			return &Violation{Name: VioRemediation, Detail: fmt.Sprintf(
+				"node %s still cordoned after the health loop quiesced", n.Name)}
+		case sched != api:
+			return &Violation{Name: VioRemediation, Detail: fmt.Sprintf(
+				"cordon state diverged on %s: scheduler=%v api=%v", n.Name, sched, api)}
+		}
 	}
 	return nil
 }

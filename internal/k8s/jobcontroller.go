@@ -43,6 +43,11 @@ type JobController struct {
 	busy    bool
 	lastOp  sim.Time
 	created map[string]int // pods created per job key
+	// lost counts non-terminal pods deleted out from under an incomplete
+	// job (node drain). Each lost pod raises the creation target by one so
+	// reconcile mints a replacement with a fresh monotonic name; jobs that
+	// never lose pods keep lost == 0 and behave exactly as before.
+	lost map[string]int
 
 	// gate, when set, defers pod creation for a job until it returns
 	// true. The VNI integration installs a gate so pods of vni-annotated
@@ -54,7 +59,7 @@ type JobController struct {
 
 // NewJobController creates and starts the controller.
 func NewJobController(cli *Client, cfg JobControllerConfig) *JobController {
-	c := &JobController{cli: cli, cfg: cfg, created: make(map[string]int)}
+	c := &JobController{cli: cli, cfg: cfg, created: make(map[string]int), lost: make(map[string]int)}
 	podInformer := cli.Informer(KindPod)
 	podInformer.AddIndex(IndexPodJob, PodJobIndex)
 	c.pods = podInformer.Lister()
@@ -66,18 +71,22 @@ func NewJobController(cli *Client, cfg JobControllerConfig) *JobController {
 		case EventModified:
 			// A gate that was closed may have opened (e.g. VNI CRD
 			// appeared); re-queue jobs with pods outstanding.
-			if c.created[job.Meta.Key()] < job.Spec.Parallelism {
+			if c.created[job.Meta.Key()] < job.Spec.Parallelism+c.lost[job.Meta.Key()] {
 				c.enqueue(job.Meta.Key())
 			}
 		case EventDeleted:
 			delete(c.created, job.Meta.Key())
+			delete(c.lost, job.Meta.Key())
 		}
 	})
 	cli.Watch(KindPod, WatchOptions{Selector: func(obj Object) bool {
 		return obj.(*Pod).Meta.Labels["job-name"] != ""
 	}}, func(ev Event) {
-		if ev.Type == EventModified {
+		switch ev.Type {
+		case EventModified:
 			c.onPodUpdate(ev.Object.(*Pod))
+		case EventDeleted:
+			c.onPodDeleted(ev.Object.(*Pod))
 		}
 	})
 	return c
@@ -139,7 +148,7 @@ func (c *JobController) reconcile(key string) {
 		return
 	}
 	n := c.created[key]
-	if n >= job.Spec.Parallelism {
+	if n >= job.Spec.Parallelism+c.lost[key] {
 		return
 	}
 	if c.gate != nil && !c.gate(job) {
@@ -165,9 +174,31 @@ func (c *JobController) reconcile(key string) {
 			c.created[key]--
 		}
 	})
-	if c.created[key] < job.Spec.Parallelism {
+	if c.created[key] < job.Spec.Parallelism+c.lost[key] {
 		c.enqueue(key)
 	}
+}
+
+// onPodDeleted replaces a pod deleted before it reached a terminal phase
+// (a node drain evicting a gang member). Terminal pods already counted
+// toward completion; replacing them would overshoot Parallelism.
+func (c *JobController) onPodDeleted(pod *Pod) {
+	switch pod.Status.Phase {
+	case PodSucceeded, PodFailed:
+		return
+	}
+	jobName := pod.Meta.Labels["job-name"]
+	key := pod.Meta.Namespace + "/" + jobName
+	obj, ok := c.cli.Get(KindJob, pod.Meta.Namespace, jobName)
+	if !ok {
+		return
+	}
+	job := obj.(*Job)
+	if job.Meta.Deleting || job.Status.Completed {
+		return
+	}
+	c.lost[key]++
+	c.enqueue(key)
 }
 
 // onPodUpdate folds pod phase changes into job status. The recount reads

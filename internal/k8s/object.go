@@ -210,9 +210,18 @@ func (n *Namespace) DeepCopy() Object {
 	return &out
 }
 
+// NodeSpec carries the schedulability knobs an operator (or the health
+// daemon) flips through the API server.
+type NodeSpec struct {
+	// Unschedulable mirrors `kubectl cordon`: the scheduler must not bind
+	// new pods to this node while set.
+	Unschedulable bool
+}
+
 // Node is a worker machine.
 type Node struct {
 	Meta Meta
+	Spec NodeSpec
 }
 
 // GetMeta implements Object.

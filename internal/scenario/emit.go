@@ -133,6 +133,39 @@ func EmitYAML(sc *Scenario) []byte {
 		}
 	}
 
+	if sc.Health.Enabled() {
+		h := sc.Health
+		b.WriteString("\nhealth:\n")
+		kv(2, "checkEvery", time.Duration(h.CheckEvery).String())
+		if h.ErrorsPerSecond > 0 {
+			kv(2, "errorsPerSecond", strconv.FormatFloat(h.ErrorsPerSecond, 'g', -1, 64))
+		}
+		if h.FlapsPerSecond > 0 {
+			kv(2, "flapsPerSecond", strconv.FormatFloat(h.FlapsPerSecond, 'g', -1, 64))
+		}
+		if h.DegradeTicks > 0 {
+			kv(2, "degradeTicks", strconv.Itoa(h.DegradeTicks))
+		}
+		if h.StableTicks > 0 {
+			kv(2, "stableTicks", strconv.Itoa(h.StableTicks))
+		}
+		if h.Budget > 0 {
+			kv(2, "budget", strconv.Itoa(h.Budget))
+		}
+		if h.DrainGrace > 0 {
+			kv(2, "drainGrace", time.Duration(h.DrainGrace).String())
+		}
+		if h.ReplaceDelay > 0 {
+			kv(2, "replaceDelay", time.Duration(h.ReplaceDelay).String())
+		}
+		if h.RetryBackoff > 0 {
+			kv(2, "retryBackoff", time.Duration(h.RetryBackoff).String())
+		}
+		if h.MaxRetries > 0 {
+			kv(2, "maxRetries", strconv.Itoa(h.MaxRetries))
+		}
+	}
+
 	b.WriteString("\nevents:\n")
 	for i := range sc.Events {
 		ev := &sc.Events[i]

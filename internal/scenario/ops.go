@@ -7,10 +7,13 @@ import (
 	"time"
 
 	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/health"
 	"github.com/caps-sim/shs-k8s/internal/k8s"
 	"github.com/caps-sim/shs-k8s/internal/libcxi"
+	"github.com/caps-sim/shs-k8s/internal/libfabric"
 	"github.com/caps-sim/shs-k8s/internal/metrics"
 	"github.com/caps-sim/shs-k8s/internal/mpi"
+	"github.com/caps-sim/shs-k8s/internal/remediate"
 	"github.com/caps-sim/shs-k8s/internal/sim"
 	"github.com/caps-sim/shs-k8s/internal/stack"
 	"github.com/caps-sim/shs-k8s/internal/telemetry"
@@ -55,6 +58,20 @@ type Ops struct {
 	latUs []float64
 	// traffic maps run names to their workload reports (run_traffic).
 	traffic map[string]workload.Report
+	// counters/daemon/remediator are the health and remediation loop,
+	// built at boot only when the scenario's health: section enables it —
+	// the loop's watches draw from the API server's delivery-jitter RNG,
+	// so wiring it unconditionally would shift every health-less timeline.
+	counters   *health.Counters
+	daemon     *health.Daemon
+	remediator *remediate.Controller
+	// faultStart stamps fault injections (node name or canonical link
+	// key), the zero point for time_to_detect_us / time_to_recover_us.
+	faultStart map[string]sim.Time
+	detectUs   map[string]float64
+	recoverUs  map[string]float64
+	// injectors holds the stop handles of live slow-drain error injectors.
+	injectors map[string]*errorInjector
 	// violations counts isolation-probe enforcement failures (forged
 	// packets delivered, cross-VNI endpoints granted).
 	violations int
@@ -68,7 +85,9 @@ type Ops struct {
 // start_fleet event runs.
 func NewOps(sc *Scenario) *Ops {
 	return &Ops{sc: sc, res: &Result{Scenario: sc}, completed: map[string]bool{},
-		submitted: map[string]string{}, traffic: map[string]workload.Report{}}
+		submitted: map[string]string{}, traffic: map[string]workload.Report{},
+		faultStart: map[string]sim.Time{}, detectUs: map[string]float64{},
+		recoverUs: map[string]float64{}, injectors: map[string]*errorInjector{}}
 }
 
 // Stack returns the live stack, nil before start_fleet.
@@ -134,6 +153,7 @@ func (r *Ops) Exec(ev *Event) error {
 		return r.churnJobs(ev)
 	case "inject_nic_failure":
 		r.logf("injecting NIC failure on %s", ev.Target)
+		r.markFault(ev.Target)
 		return r.st.FailNIC(ev.Target)
 	case "recover_nic":
 		r.logf("recovering NIC on %s", ev.Target)
@@ -156,6 +176,14 @@ func (r *Ops) Exec(ev *Event) error {
 		return r.setLink(ev, true)
 	case "recover_link":
 		return r.setLink(ev, false)
+	case "slow_drain_nic":
+		return r.slowDrainNIC(ev)
+	case "flap_trunk":
+		return r.flapTrunk(ev)
+	case "remediate":
+		return r.execRemediate(ev)
+	case "wait_remediated":
+		return r.waitRemediated(ev)
 	case "probe_isolation":
 		return r.probeIsolation()
 	case "pingpong":
@@ -198,6 +226,12 @@ func (r *Ops) setLink(ev *Event, down bool) error {
 		}
 		r.logf("%s %s between group %d and group %d", verb, which, a, b)
 		if down {
+			// The daemon keys global links by their gateway switches.
+			for gi, id := range r.st.Topo.GlobalLinks(a, b) {
+				if idx < 0 || gi == idx {
+					r.markFault(canonLinkKey("global", id.From, id.To))
+				}
+			}
 			return r.st.FailGlobalLinks(a, b, idx)
 		}
 		return r.st.RecoverGlobalLinks(a, b, idx)
@@ -207,6 +241,7 @@ func (r *Ops) setLink(ev *Event, down bool) error {
 	j, _ := strconv.Atoi(parts[1])
 	r.logf("%s trunk between switch %d and switch %d", verb, i, j)
 	if down {
+		r.markFault(canonLinkKey("trunk", i, j))
 		return r.st.FailTrunk(i, j)
 	}
 	return r.st.RecoverTrunk(i, j)
@@ -249,15 +284,22 @@ func (r *Ops) startFleet() error {
 		r.logf("topology: %d group(s) x %d switch(es), %d global link(s) per pair",
 			spec.Groups, spec.SwitchesPerGroup, spec.GlobalLinksPerPair)
 	}
+	if h := r.sc.Health; h.Enabled() {
+		r.startHealth(h)
+	}
 	if t := r.sc.Telemetry; t.Enabled() {
 		r.sampler = telemetry.New(r.st.Eng, telemetry.Config{
 			Interval: t.SampleEvery, Capacity: t.Capacity})
-		r.sampler.Attach(telemetry.Sources{
+		src := telemetry.Sources{
 			Topo:     r.st.Topo,
 			Pods:     r.pods,
 			Jobs:     r.jobs,
 			Progress: func() (int, int) { return r.wlDone, r.wlTotal },
-		})
+		}
+		if r.daemon != nil {
+			src.Health = r.healthStats
+		}
+		r.sampler.Attach(src)
 		r.logf("telemetry: sampling every %s", t.SampleEvery)
 	}
 	return nil
@@ -641,28 +683,57 @@ func (r *Ops) runTraffic(ev *Event) error {
 	if err != nil {
 		return err
 	}
-	doms, err := workload.Gang(r.st, tenant, jobName, vni, fabric.TCBulkData)
-	if err != nil {
-		return err
-	}
-	defer workload.CloseAll(doms)
-	comm, err := mpi.Connect(r.st.Eng, doms...)
-	if err != nil {
-		return err
-	}
 	finished := false
 	var rep workload.Report
 	wspec := spec.Workload()
 	r.wlTotal += wspec.Iterations
-	if err := workload.RunProgress(r.st.Eng, comm, r.st.Topo, wspec,
-		func(int) { r.wlDone++ },
-		func(wr workload.Report) { rep, finished = wr, true }); err != nil {
-		return err
+	progress := func(int) { r.wlDone++ }
+	done := func(wr workload.Report) { rep, finished = wr, true }
+	if r.daemon != nil {
+		// Under the health loop the gang is migratable: when a member's
+		// node gets cordoned, the run vacates at the next iteration
+		// boundary and re-gangs once the evicted pods are rescheduled
+		// (RunMigratable owns the domains across placements).
+		env := workload.Env{
+			Connect: func() (*mpi.Comm, []*libfabric.Domain, error) {
+				doms, err := workload.Gang(r.st, tenant, jobName, vni, fabric.TCBulkData)
+				if err != nil {
+					return nil, nil, err
+				}
+				comm, err := mpi.Connect(r.st.Eng, doms...)
+				if err != nil {
+					workload.CloseAll(doms)
+					return nil, nil, err
+				}
+				return comm, doms, nil
+			},
+			Preempted: func() bool { return r.gangPreempted(tenant, jobName) },
+			Ready:     func() bool { return r.gangReady(tenant, jobName, ranks) },
+		}
+		if err := workload.RunMigratable(r.st.Eng, r.st.Topo, wspec, env, progress, done); err != nil {
+			return err
+		}
+	} else {
+		doms, err := workload.Gang(r.st, tenant, jobName, vni, fabric.TCBulkData)
+		if err != nil {
+			return err
+		}
+		defer workload.CloseAll(doms)
+		comm, err := mpi.Connect(r.st.Eng, doms...)
+		if err != nil {
+			return err
+		}
+		if err := workload.RunProgress(r.st.Eng, comm, r.st.Topo, wspec, progress, done); err != nil {
+			return err
+		}
 	}
 	if ok := r.st.Eng.RunUntilDone(func() bool { return finished }, r.st.Eng.Now().Add(timeout)); !ok {
 		return fmt.Errorf("traffic %q stalled after %s (%d ranks, pattern %s)", runName, timeout, ranks, spec.Pattern)
 	}
 	r.traffic[runName] = rep
+	if rep.Migrations > 0 {
+		r.logf("traffic %s migrated %d time(s) off cordoned nodes", runName, rep.Migrations)
+	}
 	r.logf("traffic %s on %s/%s: %s x%d of %d B over %d ranks in %s (%s on global links)",
 		runName, tenant, jobName, spec.Pattern, rep.Spec.Iterations, rep.Spec.Bytes,
 		rep.Ranks, rep.Elapsed, metrics.FormatBytes(int(rep.GlobalLinkBytes)))
@@ -758,6 +829,25 @@ func (r *Ops) Actual(a Assertion) float64 {
 			}
 		}
 		return 1
+	case "time_to_detect_us":
+		return r.detectUs[a.Target]
+	case "time_to_recover_us":
+		return r.recoverUs[a.Target]
+	case "nodes_cordoned":
+		n := 0
+		for _, node := range r.st.Nodes {
+			if r.st.Cluster.Scheduler.Cordoned(node.Name) {
+				n++
+			}
+		}
+		return float64(n)
+	case "remediations_done":
+		if r.remediator == nil {
+			return 0
+		}
+		return float64(r.remediator.Done())
+	case "traffic_migrations":
+		return float64(r.traffic[a.Target].Migrations)
 	case "telemetry_samples":
 		if r.sampler == nil {
 			return 0

@@ -125,6 +125,11 @@ func RunHooked(sc *Scenario, hooks Hooks) (res *Result) {
 	if err := r.FlushTelemetry(); err != nil && r.res.Err == nil {
 		r.res.Err = err
 	}
+	// The timeline is over: stop the health daemon's perpetual tick (and
+	// any fault injectors still armed) so AfterRun harnesses can drain
+	// the event queue to empty. In-flight remediations finish on their
+	// own timers during that drain.
+	r.StopHealth()
 	if hooks.AfterRun != nil {
 		hooks.AfterRun(r.st, r.res)
 	}

@@ -134,6 +134,45 @@ type TelemetrySpec struct {
 // Enabled reports whether the scenario samples telemetry.
 func (t TelemetrySpec) Enabled() bool { return t.SampleEvery > 0 }
 
+// HealthSpec is the health: section: when CheckEvery is set, the fleet
+// boots with the autonomous health + remediation loop attached — the
+// internal/health daemon polling NIC error counters and link state, and
+// the internal/remediate controller draining, replacing and uncordoning
+// what the daemon cordons. The zero value disables the loop entirely;
+// scenarios without this section draw exactly the same random-number
+// stream as before the loop existed (the daemon and controller install
+// watches and timers only when constructed).
+type HealthSpec struct {
+	// CheckEvery is the daemon's poll period (> 0 enables the loop).
+	CheckEvery sim.Duration
+	// ErrorsPerSecond is the EWMA error-rate cordon threshold
+	// (0 = health.DefaultConfig).
+	ErrorsPerSecond float64
+	// FlapsPerSecond is the EWMA link state-transition rate above which
+	// a link is declared flapping (0 = default).
+	FlapsPerSecond float64
+	// DegradeTicks is how many consecutive over-threshold polls cordon a
+	// node (0 = default).
+	DegradeTicks int
+	// StableTicks is how many quiet polls clear a flapping link
+	// (0 = default).
+	StableTicks int
+	// Budget caps concurrent remediations (0 = default 1).
+	Budget int
+	// DrainGrace is the migrate-off window before pod eviction
+	// (0 = default).
+	DrainGrace sim.Duration
+	// ReplaceDelay models the hardware swap time (0 = default).
+	ReplaceDelay sim.Duration
+	// RetryBackoff is the initial replace-retry backoff (0 = default).
+	RetryBackoff sim.Duration
+	// MaxRetries bounds replace attempts (0 = default).
+	MaxRetries int
+}
+
+// Enabled reports whether the scenario runs the health loop.
+func (h HealthSpec) Enabled() bool { return h.CheckEvery > 0 }
+
 // Assertion is one end-state check evaluated after all events ran.
 type Assertion struct {
 	// Type names the probed quantity (vnis_allocated, jobs_completed,
@@ -166,7 +205,10 @@ type Scenario struct {
 	Traffic []TrafficSpec
 	// Telemetry configures the time-series sampler; the zero value means
 	// no sampling.
-	Telemetry  TelemetrySpec
+	Telemetry TelemetrySpec
+	// Health configures the autonomous health + remediation loop; the
+	// zero value means no loop.
+	Health     HealthSpec
 	Events     []Event
 	Assertions []Assertion
 	// Path is the source file, "" when parsed from a reader.
@@ -256,6 +298,10 @@ func (sc *Scenario) decode(root *value) error {
 			}
 		case "telemetry":
 			if err := sc.decodeTelemetry(v); err != nil {
+				return err
+			}
+		case "health":
+			if err := sc.decodeHealth(v); err != nil {
 				return err
 			}
 		case "events":
@@ -470,6 +516,64 @@ func (sc *Scenario) decodeTelemetry(v *value) error {
 	return nil
 }
 
+// decodeHealth maps the health: section onto HealthSpec.
+func (sc *Scenario) decodeHealth(v *value) error {
+	if v.kind != mapNode {
+		return sc.errAt(v.line, "health: must be a mapping")
+	}
+	for _, key := range v.keys {
+		c := v.child[key]
+		switch key {
+		case "checkEvery", "drainGrace", "replaceDelay", "retryBackoff":
+			d, err := time.ParseDuration(c.scalar)
+			if err != nil || d <= 0 {
+				return sc.errAt(c.line, "health.%s: must be a positive duration, got %q", key, c.scalar)
+			}
+			switch key {
+			case "checkEvery":
+				sc.Health.CheckEvery = d
+			case "drainGrace":
+				sc.Health.DrainGrace = d
+			case "replaceDelay":
+				sc.Health.ReplaceDelay = d
+			case "retryBackoff":
+				sc.Health.RetryBackoff = d
+			}
+		case "errorsPerSecond", "flapsPerSecond":
+			f, err := strconv.ParseFloat(c.scalar, 64)
+			if err != nil || f <= 0 {
+				return sc.errAt(c.line, "health.%s: must be a positive number, got %q", key, c.scalar)
+			}
+			if key == "errorsPerSecond" {
+				sc.Health.ErrorsPerSecond = f
+			} else {
+				sc.Health.FlapsPerSecond = f
+			}
+		case "degradeTicks", "stableTicks", "budget", "maxRetries":
+			n, err := strconv.Atoi(c.scalar)
+			if err != nil || n < 1 {
+				return sc.errAt(c.line, "health.%s: must be a positive integer, got %q", key, c.scalar)
+			}
+			switch key {
+			case "degradeTicks":
+				sc.Health.DegradeTicks = n
+			case "stableTicks":
+				sc.Health.StableTicks = n
+			case "budget":
+				sc.Health.Budget = n
+			case "maxRetries":
+				sc.Health.MaxRetries = n
+			}
+		default:
+			return sc.errAt(c.line, "health: unknown key %q", key)
+		}
+	}
+	if !sc.Health.Enabled() {
+		return sc.errAt(v.line, "health: needs checkEvery")
+	}
+	return nil
+}
+
 func (sc *Scenario) decodeEvents(v *value) error {
 	if v.kind != seqNode {
 		return sc.errAt(v.line, "events: must be a sequence")
@@ -569,6 +673,20 @@ var actions = map[string]actionSpec{
 	"wait_running":       {required: []string{"tenant", "pods"}, optional: []string{"job", "timeout"}},
 	"wait_jobs_complete": {optional: []string{"tenant", "timeout"}},
 	"resync_vni":         {},
+	// Health-loop events; valid only with a health: section (the loop
+	// must be running to observe the fault).
+	"slow_drain_nic":  {needsTarget: "node", optional: []string{"rate", "duration"}},
+	"flap_trunk":      {required: []string{"switches"}, optional: []string{"period", "count"}},
+	"remediate":       {needsTarget: "node"},
+	"wait_remediated": {optional: []string{"count", "timeout"}},
+}
+
+// healthActions require the health: section.
+var healthActions = map[string]bool{
+	"slow_drain_nic":  true,
+	"flap_trunk":      true,
+	"remediate":       true,
+	"wait_remediated": true,
 }
 
 // assertionTargets maps assertion types to how their target is validated:
@@ -599,6 +717,16 @@ var assertionTargets = map[string]string{
 	// section (no sampler, no series).
 	"telemetry_samples":               "",
 	"telemetry_peak_link_utilization": "",
+	// Health-loop probes; the time_to_* pair targets a node name or a
+	// link key ("trunk:i-j" / "global:a-b") and requires a health:
+	// section. nodes_cordoned counts the scheduler's cordon set and
+	// works with or without the loop; traffic_migrations reads a
+	// migratable run's report.
+	"time_to_detect_us":  "health-target",
+	"time_to_recover_us": "health-target",
+	"nodes_cordoned":     "",
+	"remediations_done":  "",
+	"traffic_migrations": "run",
 }
 
 var latencyStats = map[string]bool{"p50": true, "p90": true, "p99": true, "max": true, "mean": true}
@@ -710,6 +838,9 @@ func (sc *Scenario) validateEvent(ev *Event, tenants map[string]bool) error {
 		}
 		return sc.errAt(ev.Line, "unknown action %q", ev.Action)
 	}
+	if healthActions[ev.Action] && !sc.Health.Enabled() {
+		return sc.errAt(ev.Line, "%s: requires a health: section (checkEvery)", ev.Action)
+	}
 	switch spec.needsTarget {
 	case "node":
 		if !sc.validNode(ev.Target) {
@@ -737,7 +868,7 @@ func (sc *Scenario) validateEvent(ev *Event, tenants map[string]bool) error {
 		}
 	}
 	// Typed parameter checks.
-	for _, p := range []string{"runtime", "interval", "timeout", "duration"} {
+	for _, p := range []string{"runtime", "interval", "timeout", "duration", "period"} {
 		if v, ok := ev.Params[p]; ok {
 			if d, err := time.ParseDuration(v); err != nil || d < 0 {
 				return sc.errAt(ev.Line, "%s: %s: not a duration: %q", ev.Action, p, v)
@@ -746,7 +877,13 @@ func (sc *Scenario) validateEvent(ev *Event, tenants map[string]bool) error {
 	}
 	for _, p := range []string{"pods", "count", "rounds", "bytes"} {
 		if v, ok := ev.Params[p]; ok {
-			if n, err := strconv.Atoi(v); err != nil || n < 1 {
+			// wait_remediated accepts count: 0 — "wait only for the
+			// controller to quiesce, however many runs that takes".
+			min := 1
+			if ev.Action == "wait_remediated" && p == "count" {
+				min = 0
+			}
+			if n, err := strconv.Atoi(v); err != nil || n < min {
 				return sc.errAt(ev.Line, "%s: %s: must be a positive integer, got %q", ev.Action, p, v)
 			}
 		}
@@ -766,7 +903,47 @@ func (sc *Scenario) validateEvent(ev *Event, tenants map[string]bool) error {
 			return err
 		}
 	}
+	if ev.Action == "slow_drain_nic" {
+		if v, ok := ev.Params["rate"]; ok {
+			if f, err := strconv.ParseFloat(v, 64); err != nil || f <= 0 {
+				return sc.errAt(ev.Line, "slow_drain_nic: rate: must be a positive number (errors/s), got %q", v)
+			}
+		}
+	}
+	if ev.Action == "flap_trunk" {
+		if _, _, err := sc.trunkPair(ev, ev.Params["switches"]); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// trunkPair validates an intra-group switch pair parameter ("i,j") and
+// returns the indices; shared by flap_trunk validation and execution.
+func (sc *Scenario) trunkPair(ev *Event, s string) (int, int, error) {
+	topo := sc.Topology
+	parts := splitList(s)
+	if len(parts) != 2 {
+		return 0, 0, sc.errAt(ev.Line, "%s: switches must be two comma-separated indices, got %q", ev.Action, s)
+	}
+	var idx [2]int
+	limit := topo.Groups * topo.SwitchesPerGroup
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n >= limit {
+			return 0, 0, sc.errAt(ev.Line, "%s: switches: %q is not a valid switch index (fabric has %d)",
+				ev.Action, p, limit)
+		}
+		idx[i] = n
+	}
+	if idx[0] == idx[1] {
+		return 0, 0, sc.errAt(ev.Line, "%s: switches: indices must differ", ev.Action)
+	}
+	if idx[0]/topo.SwitchesPerGroup != idx[1]/topo.SwitchesPerGroup {
+		return 0, 0, sc.errAt(ev.Line, "%s: switches %d and %d are in different groups (only trunks flap)",
+			ev.Action, idx[0], idx[1])
+	}
+	return idx[0], idx[1], nil
 }
 
 // validateLinkEvent checks a fail_link/recover_link event: exactly one of
@@ -838,6 +1015,9 @@ func (sc *Scenario) validateAssertion(a *Assertion, tenants, runs map[string]boo
 	if strings.HasPrefix(a.Type, "telemetry_") && !sc.Telemetry.Enabled() {
 		return sc.errAt(a.Line, "%s: requires a telemetry: section (sampleEvery)", a.Type)
 	}
+	if (kind == "health-target" || a.Type == "remediations_done") && !sc.Health.Enabled() {
+		return sc.errAt(a.Line, "%s: requires a health: section (checkEvery)", a.Type)
+	}
 	switch kind {
 	case "":
 		if a.Target != "" {
@@ -866,6 +1046,10 @@ func (sc *Scenario) validateAssertion(a *Assertion, tenants, runs map[string]boo
 		if len(parts) != 2 || !runs[parts[0]] || !runs[parts[1]] {
 			return sc.errAt(a.Line, "%s: target must be two traffic runs as \"a/b\", got %q", a.Type, a.Target)
 		}
+	case "health-target":
+		if err := sc.validateHealthTarget(a); err != nil {
+			return err
+		}
 	}
 	if a.Value == "" {
 		return sc.errAt(a.Line, "%s: missing value", a.Type)
@@ -874,6 +1058,31 @@ func (sc *Scenario) validateAssertion(a *Assertion, tenants, runs map[string]boo
 		return sc.errAt(a.Line, "%s: value: %v", a.Type, err)
 	}
 	return nil
+}
+
+// validateHealthTarget checks a time_to_detect_us/time_to_recover_us
+// target: a fleet node name, or a link key as the health daemon emits
+// them — "trunk:i-j" / "global:i-j", both by global switch index (a
+// global link is keyed by its two gateway switches).
+func (sc *Scenario) validateHealthTarget(a *Assertion) error {
+	t := a.Target
+	if sc.validNode(t) {
+		return nil
+	}
+	kind, rest, found := strings.Cut(t, ":")
+	if found && (kind == "trunk" || kind == "global") {
+		parts := strings.Split(rest, "-")
+		if len(parts) == 2 {
+			limit := sc.Topology.Groups * sc.Topology.SwitchesPerGroup
+			x, errX := strconv.Atoi(parts[0])
+			y, errY := strconv.Atoi(parts[1])
+			if errX == nil && errY == nil && x >= 0 && y >= 0 && x < limit && y < limit && x != y {
+				return nil
+			}
+		}
+	}
+	return sc.errAt(a.Line, "%s: target must be a fleet node or a link key (trunk:i-j / global:a-b), got %q",
+		a.Type, t)
 }
 
 // parseExpected turns an assertion value into a comparable number; booleans

@@ -107,6 +107,23 @@ func (s *Sampler) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(bw, "# TYPE shssim_workload_iterations gauge\n")
 	fmt.Fprintf(bw, "shssim_workload_iterations{kind=\"done\"} %d\n", sm.WorkloadDone)
 	fmt.Fprintf(bw, "shssim_workload_iterations{kind=\"total\"} %d\n", sm.WorkloadTotal)
+
+	// Health metrics appear only when the health loop was attached, so a
+	// health-less run's exposition is unchanged.
+	if sm.HealthOn {
+		fmt.Fprintf(bw, "# HELP shssim_node_cordoned Nodes the health loop has cordoned (1 = cordoned).\n")
+		fmt.Fprintf(bw, "# TYPE shssim_node_cordoned gauge\n")
+		for _, n := range sm.Cordoned {
+			fmt.Fprintf(bw, "shssim_node_cordoned{node=%q} 1\n", n)
+		}
+		fmt.Fprintf(bw, "# HELP shssim_nodes_degraded Nodes over the error threshold but not yet cordoned.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_nodes_degraded gauge\n")
+		fmt.Fprintf(bw, "shssim_nodes_degraded %d\n", len(sm.Degraded))
+		fmt.Fprintf(bw, "# HELP shssim_remediations Remediation runs by state.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_remediations gauge\n")
+		fmt.Fprintf(bw, "shssim_remediations{state=\"active\"} %d\n", sm.Remediating)
+		fmt.Fprintf(bw, "shssim_remediations{state=\"done\"} %d\n", sm.Remediated)
+	}
 	return bw.Flush()
 }
 

@@ -40,6 +40,21 @@ type Sources struct {
 	// Progress reports live workload progress: collective iterations
 	// completed and scheduled so far (cumulative over all traffic runs).
 	Progress func() (done, total int)
+	// Health reports the health/remediation loop's state. Nil when the
+	// health loop is not running (the common case): the sample then omits
+	// every health field, keeping the series byte-identical to a build
+	// without the subsystem.
+	Health func() HealthStats
+}
+
+// HealthStats is the health subsystem's snapshot for one sample: which
+// nodes the daemon considers degrading, which it has cordoned, and how
+// far remediation has progressed.
+type HealthStats struct {
+	Degraded    []string
+	Cordoned    []string
+	Remediating int
+	Remediated  int
 }
 
 // Config tunes a sampler.
@@ -94,6 +109,14 @@ type Sample struct {
 
 	WorkloadDone  int `json:"workload_done"`
 	WorkloadTotal int `json:"workload_total"`
+
+	// Health fields appear only when a health source is attached
+	// (HealthOn true); omitempty keeps health-less series unchanged.
+	HealthOn    bool     `json:"health,omitempty"`
+	Degraded    []string `json:"degraded,omitempty"`
+	Cordoned    []string `json:"cordoned,omitempty"`
+	Remediating int      `json:"remediating,omitempty"`
+	Remediated  int      `json:"remediated,omitempty"`
 }
 
 // Sampler snapshots Sources into a bounded ring on a periodic virtual-
@@ -189,7 +212,10 @@ func (s *Sampler) sample() {
 		sm = &s.ring[s.head]
 		s.head = (s.head + 1) % len(s.ring)
 		// Reuse the overwritten slot's slices.
-		*sm = Sample{Links: sm.Links[:0], Switches: sm.Switches[:0]}
+		*sm = Sample{
+			Links: sm.Links[:0], Switches: sm.Switches[:0],
+			Degraded: sm.Degraded[:0], Cordoned: sm.Cordoned[:0],
+		}
 	} else {
 		s.ring = append(s.ring, Sample{})
 		sm = &s.ring[s.head]
@@ -246,6 +272,14 @@ func (s *Sampler) sample() {
 	}
 	if s.src.Progress != nil {
 		sm.WorkloadDone, sm.WorkloadTotal = s.src.Progress()
+	}
+	if s.src.Health != nil {
+		hs := s.src.Health()
+		sm.HealthOn = true
+		sm.Degraded = append(sm.Degraded, hs.Degraded...)
+		sm.Cordoned = append(sm.Cordoned, hs.Cordoned...)
+		sm.Remediating = hs.Remediating
+		sm.Remediated = hs.Remediated
 	}
 }
 

@@ -206,3 +206,72 @@ func TestPrometheusExposition(t *testing.T) {
 		t.Error("WritePrometheus on empty sampler should error")
 	}
 }
+
+// TestPrometheusExpositionFaultStates: the operator-facing fault signals
+// must be visible in the exposition — a downed link exports
+// shssim_link_down 1 (healthy links 0), and an attached health source
+// surfaces cordoned nodes, degraded counts and remediation progress. A
+// sampler without a health source must emit none of the health families,
+// so health-less scrapes are byte-stable across the subsystem's addition.
+func TestPrometheusExpositionFaultStates(t *testing.T) {
+	eng := sim.NewEngine(1)
+	topo := fabric.NewTopology(eng, fabric.DefaultConfig(), fabric.TopologySpec{
+		Groups: 2, SwitchesPerGroup: 1, NodesPerSwitch: 2,
+	})
+	if err := topo.SetGlobalLinkDown(0, 1, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	s := New(eng, Config{Interval: time.Millisecond})
+	s.Attach(Sources{
+		Topo: topo,
+		Health: func() HealthStats {
+			return HealthStats{
+				Degraded:    []string{"node1"},
+				Cordoned:    []string{"node3"},
+				Remediating: 1,
+				Remediated:  2,
+			}
+		},
+	})
+	s.Detach()
+
+	var buf bytes.Buffer
+	if err := s.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`shssim_link_down{link="rosetta0->rosetta1",kind="global"} 1`,
+		`shssim_link_down{link="rosetta1->rosetta0",kind="global"} 1`,
+		`shssim_node_cordoned{node="node3"} 1`,
+		"shssim_nodes_degraded 1",
+		`shssim_remediations{state="active"} 1`,
+		`shssim_remediations{state="done"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+
+	// Without a health source the health families must be absent, and a
+	// healthy link reads 0 — the gauge always has a value per link.
+	plain := New(eng, Config{Interval: time.Millisecond})
+	if err := topo.SetGlobalLinkDown(0, 1, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	plain.Attach(Sources{Topo: topo})
+	plain.Detach()
+	buf.Reset()
+	if err := plain.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, stray := range []string{"shssim_node_cordoned", "shssim_nodes_degraded", "shssim_remediations"} {
+		if strings.Contains(out, stray) {
+			t.Errorf("health-less exposition leaks %q\n%s", stray, out)
+		}
+	}
+	if !strings.Contains(out, `shssim_link_down{link="rosetta0->rosetta1",kind="global"} 0`) {
+		t.Errorf("recovered link not exported as 0\n%s", out)
+	}
+}

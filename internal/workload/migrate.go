@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/caps-sim/shs-k8s/internal/fabric"
+	"github.com/caps-sim/shs-k8s/internal/libfabric"
+	"github.com/caps-sim/shs-k8s/internal/mpi"
+	"github.com/caps-sim/shs-k8s/internal/sim"
+)
+
+// Env is the control-plane glue a migratable run needs. The workload
+// engine stays ignorant of Kubernetes: the caller (internal/scenario's
+// Ops) supplies closures over the job, the scheduler's cordon set and
+// the gang machinery.
+type Env struct {
+	// Connect gangs the job's current running pods and returns a ready
+	// communicator plus the domains backing it. Called once at start and
+	// once per migration; RunMigratable owns closing the domains.
+	Connect func() (*mpi.Comm, []*libfabric.Domain, error)
+	// Preempted reports whether the gang must vacate — any member sits
+	// on a node the health loop cordoned. Checked between iterations,
+	// when no collective is in flight, so domains close cleanly.
+	Preempted func() bool
+	// Ready reports whether the rescheduled gang is whole again (every
+	// rank Running on schedulable nodes).
+	Ready func() bool
+	// RecheckEvery is the poll period while vacated (default 10ms).
+	RecheckEvery sim.Duration
+}
+
+// RunMigratable is RunProgress for a gang that survives preemption: at
+// each iteration boundary it checks Env.Preempted, and if the placement
+// has gone bad it closes the gang's domains (releasing VNI grants and
+// netns membership), waits for the control plane to reschedule the
+// pods, re-gangs over the new placement, and resumes at the same
+// iteration. Completed iterations are never redone — the checkpoint
+// granularity is one collective call. The final Report counts the
+// migrations and accumulates MPI bytes across all placements.
+func RunMigratable(eng *sim.Engine, topo *fabric.Topology, spec Spec, env Env, progress func(iter int), done func(Report)) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if env.Connect == nil {
+		return fmt.Errorf("workload: migratable run needs Env.Connect")
+	}
+	recheck := env.RecheckEvery
+	if recheck <= 0 {
+		recheck = sim.Duration(10 * time.Millisecond)
+	}
+
+	comm, doms, err := env.Connect()
+	if err != nil {
+		return err
+	}
+	comm.SetFidelity(spec.Fidelity)
+
+	start := eng.Now()
+	startBytes := comm.BytesSent()
+	var bytesAccum uint64
+	var startGlobal, startDrops uint64
+	if topo != nil {
+		startGlobal = topo.GlobalLinkBytes()
+		startDrops = topo.TrunkDrops()
+	}
+
+	iter := 0
+	migrations := 0
+	var loop, migrate, await func()
+	loop = func() {
+		if iter == spec.Iterations {
+			CloseAll(doms)
+			rep := Report{
+				Spec:       spec,
+				Ranks:      comm.Size(),
+				Elapsed:    eng.Now().Sub(start),
+				MPIBytes:   bytesAccum + comm.BytesSent() - startBytes,
+				Migrations: migrations,
+			}
+			if topo != nil {
+				rep.GlobalLinkBytes = topo.GlobalLinkBytes() - startGlobal
+				rep.TrunkDrops = topo.TrunkDrops() - startDrops
+				for _, l := range topo.Links() {
+					if l.Utilization > rep.MaxLinkUtilization {
+						rep.MaxLinkUtilization = l.Utilization
+					}
+				}
+			}
+			done(rep)
+			return
+		}
+		if env.Preempted != nil && env.Preempted() {
+			migrate()
+			return
+		}
+		iter++
+		next := loop
+		if spec.Compute > 0 {
+			next = func() { eng.After(spec.Compute, loop) }
+		}
+		if progress != nil {
+			it, inner := iter, next
+			next = func() { progress(it); inner() }
+		}
+		// Validate guaranteed the pattern, so the dispatch cannot fail.
+		if err := comm.RunCollective(string(spec.Pattern), spec.Bytes, next); err != nil {
+			panic(err)
+		}
+	}
+	migrate = func() {
+		// No collective is in flight at an iteration boundary, so the
+		// domains are idle and release cleanly; the evicted pods can
+		// then terminate without tearing down live transports.
+		bytesAccum += comm.BytesSent() - startBytes
+		CloseAll(doms)
+		comm, doms = nil, nil
+		migrations++
+		await()
+	}
+	await = func() {
+		if env.Ready == nil || env.Ready() {
+			c, d, err := env.Connect()
+			if err != nil {
+				// The placement looked whole but gang setup raced a
+				// teardown; poll again.
+				eng.After(recheck, await)
+				return
+			}
+			comm, doms = c, d
+			comm.SetFidelity(spec.Fidelity)
+			startBytes = comm.BytesSent()
+			loop()
+			return
+		}
+		eng.After(recheck, await)
+	}
+	eng.After(0, loop)
+	return nil
+}

@@ -107,6 +107,10 @@ type Report struct {
 	MaxLinkUtilization float64
 	// TrunkDrops counts packets lost on down trunks during the run.
 	TrunkDrops uint64
+	// Migrations counts how many times the gang vacated a degrading
+	// placement mid-run and resumed elsewhere (RunMigratable only;
+	// always zero for Run/RunProgress).
+	Migrations int
 }
 
 // Run executes spec over the communicator and calls done with the report
