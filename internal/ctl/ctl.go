@@ -211,6 +211,20 @@ func (s *Server) Execute(w io.Writer, line string) bool {
 		s.linkCmd(w, cmd, args)
 	case "health":
 		s.health(w)
+	case "fail-apiserver":
+		s.exec(w, &scenario.Event{Action: "fail_apiserver"})
+	case "recover-apiserver":
+		s.exec(w, &scenario.Event{Action: "recover_apiserver"})
+	case "degrade-apiserver":
+		s.degradeAPIServer(w, args)
+	case "break-watch":
+		if len(args) != 1 {
+			fmt.Fprintln(w, "usage: break-watch <pods|jobs|nodes|namespaces>")
+			return false
+		}
+		s.exec(w, &scenario.Event{Action: "break_watch", Params: map[string]string{"kind": args[0]}})
+	case "apiserver":
+		s.apiserver(w)
 	case "remediate":
 		if len(args) != 1 {
 			fmt.Fprintln(w, "usage: remediate <node>")
@@ -251,6 +265,11 @@ func (s *Server) help(w io.Writer) {
   recover-link <a> <b> [idx]     recover them
   health                         health daemon view: node states, bad links, remediations
   remediate <node>               drain, replace and uncordon a node (needs a health: section)
+  fail-apiserver                 take the API server down (writes fail until recovery)
+  degrade-apiserver [lat] [err]  degraded mode: latency factor (default 5), write error prob (default 0.2)
+  recover-apiserver              restore full API server availability
+  break-watch <kind>             silently break watch streams (pods|jobs|nodes|namespaces)
+  apiserver                      fault-layer view: availability, retries, relists, staleness
   run-traffic <pattern> <bytes>  run a 10-iteration collective over all nodes
   step <duration>                advance the virtual clock
   run-until-idle                 run until no work is pending (60s cap)
@@ -408,6 +427,47 @@ func (s *Server) runTraffic(w io.Writer, args []string) {
 	}
 }
 
+// degradeAPIServer parses the optional latency-factor and error-prob
+// arguments and executes a degrade_apiserver event.
+func (s *Server) degradeAPIServer(w io.Writer, args []string) {
+	if len(args) > 2 {
+		fmt.Fprintln(w, "usage: degrade-apiserver [latency_factor] [error_prob]")
+		return
+	}
+	params := map[string]string{}
+	if len(args) >= 1 {
+		if v, err := strconv.ParseFloat(args[0], 64); err != nil || v < 1 {
+			fmt.Fprintf(w, "error: latency_factor wants a number >= 1, got %q\n", args[0])
+			return
+		}
+		params["latency_factor"] = args[0]
+	}
+	if len(args) == 2 {
+		if v, err := strconv.ParseFloat(args[1], 64); err != nil || v < 0 || v >= 1 {
+			fmt.Fprintf(w, "error: error_prob wants a number in [0,1), got %q\n", args[1])
+			return
+		}
+		params["error_prob"] = args[1]
+	}
+	s.exec(w, &scenario.Event{Action: "degrade_apiserver", Params: params})
+}
+
+// apiserver renders the control-plane fault layer's counters.
+func (s *Server) apiserver(w io.Writer) {
+	stats, avail, armed := s.ops.ControlPlaneStatus()
+	if !armed {
+		fmt.Fprintln(w, "fault layer dormant (no control-plane fault injected); apiserver up")
+		return
+	}
+	fmt.Fprintf(w, "availability:   %s\n", avail)
+	fmt.Fprintf(w, "retries:        %d\n", stats.Retries)
+	fmt.Fprintf(w, "timeouts:       %d\n", stats.Timeouts)
+	fmt.Fprintf(w, "exhausted:      %d\n", stats.Exhausted)
+	fmt.Fprintf(w, "relists:        %d\n", stats.Relists)
+	fmt.Fprintf(w, "stale reads:    %d\n", stats.StaleReads)
+	fmt.Fprintf(w, "max staleness:  %.0fus\n", stats.MaxStalenessUs)
+}
+
 // health renders the daemon's node table, any down or flapping links,
 // and the remediation controller's runs.
 func (s *Server) health(w io.Writer) {
@@ -454,12 +514,17 @@ func (s *Server) step(w io.Writer, args []string) {
 }
 
 // runUntilIdle drains pending work. An attached telemetry sampler keeps
-// one perpetual tick event alive, so "idle" means nothing else pending.
+// one perpetual tick event alive, and so does the control-plane gap
+// prober once a fault command armed it, so "idle" means nothing else
+// pending.
 func (s *Server) runUntilIdle(w io.Writer) {
 	eng := s.ops.Stack().Eng
 	floor := 0
 	if sp := s.ops.Sampler(); sp != nil && sp.Attached() {
 		floor = 1
+	}
+	if s.ops.CPArmed() {
+		floor++
 	}
 	deadline := eng.Now().Add(60 * time.Second)
 	if eng.RunUntilDone(func() bool { return eng.Pending() <= floor }, deadline) {

@@ -171,6 +171,7 @@ func Generate(rng *rand.Rand, cfg Config) *scenario.Scenario {
 
 	g.genFaults(cfg, groups, spg, nodes)
 	g.genHealth(groups, spg, nodes, tenants)
+	g.genControlPlane()
 	if vniService {
 		g.genTraffic(cfg, tenants)
 	}
@@ -339,6 +340,46 @@ func (g *genState) genHealth(groups, spg, nodes, tenants int) {
 		// their own on top of the injections counted here.
 		scenario.Assertion{Type: "remediations_done", Op: ">=", Value: strconv.Itoa(want)},
 		scenario.Assertion{Type: "nodes_cordoned", Op: "==", Value: "0"})
+}
+
+// genControlPlane (about a third of specs): inject control-plane chaos —
+// a full apiserver outage, a degraded window, or silent watch-stream
+// breaks — always recovered well inside the client's retry-budget span,
+// with a post-recovery cushion long enough for queued retries to land and
+// the gap prober to relist. The harness's eventual-convergence invariant
+// (VioConvergence) and the cp_converged assertion emitted here then hold
+// by construction; a spec that fails them indicts the fault layer.
+func (g *genState) genControlPlane() {
+	if g.rng.Intn(3) != 0 {
+		return
+	}
+	for i, n := 0, 1+g.rng.Intn(2); i < n; i++ {
+		switch g.rng.Intn(3) {
+		case 0:
+			g.event(g.tick(), "fail_apiserver", "")
+			// Outages stay well under the retry layer's total backoff span
+			// (~4s): consumers queue writes behind retries rather than
+			// re-issuing them, so an outage must end while budget remains.
+			g.at += time.Duration(100+g.rng.Intn(300)) * time.Millisecond
+			g.event(g.at, "recover_apiserver", "")
+		case 1:
+			g.event(g.tick(), "degrade_apiserver", "",
+				"latency_factor", strconv.Itoa(2+g.rng.Intn(8)),
+				"error_prob", []string{"0.1", "0.2", "0.4"}[g.rng.Intn(3)])
+			g.at += time.Duration(100+g.rng.Intn(300)) * time.Millisecond
+			g.event(g.at, "recover_apiserver", "")
+		case 2:
+			// Watch breaks need no recovery event: the gap prober detects
+			// the stalled informer and relists on its own.
+			kinds := []string{"pods", "jobs", "nodes"}
+			g.event(g.tick(), "break_watch", "", "kind", kinds[g.rng.Intn(len(kinds))])
+		}
+	}
+	// Cushion: let queued retries land and the prober repair any broken
+	// watch before later events wait on control-plane state.
+	g.event(g.tick(), "run_for", "", "duration", "500ms")
+	g.sc.Assertions = append(g.sc.Assertions,
+		scenario.Assertion{Type: "cp_converged", Op: "==", Value: "1"})
 }
 
 // genTraffic emits pingpong and collective runs over the tenants' anchor

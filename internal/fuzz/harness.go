@@ -119,7 +119,10 @@ func fingerprintOf(st *stack.Stack, res *scenario.Result) *fingerprint {
 //     detection), then re-check integrity and routing and verify packet
 //     and byte conservation per switch and fabric-wide; on specs with a
 //     health: section, additionally verify the remediation loop quiesced
-//     (no node left cordoned, scheduler and API cordon views agree);
+//     (no node left cordoned, scheduler and API cordon views agree); then
+//     verify control-plane eventual convergence — every informer cache
+//     identical to the API server's store (no lost writes, no silently
+//     dropped watch deliveries);
 //   - then the whole run repeats and both fingerprints must match
 //     (determinism oracle).
 //
@@ -192,6 +195,10 @@ func runOnce(sc *scenario.Scenario, rep *Report) *fingerprint {
 					rep.add(*v)
 					return
 				}
+			}
+			if v := checkConvergence(st); v != nil {
+				rep.add(*v)
+				return
 			}
 			fp = fingerprintOf(st, res)
 		},

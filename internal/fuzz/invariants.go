@@ -51,6 +51,13 @@ const (
 	// section; without one, cordons are manual and may legitimately
 	// outlive the run.
 	VioRemediation = "remediation_quiesce"
+	// VioConvergence: with the event queue drained (every write landed,
+	// every retry resolved, every relist replayed), an informer cache
+	// still disagreed with the API server's store — a lost write or a
+	// watch delivery that never arrived. Checked on every spec: fault-free
+	// runs converge trivially, and the generator recovers every injected
+	// control-plane fault before the run ends.
+	VioConvergence = "eventual_convergence"
 )
 
 // checkSim wraps the engine's structural self-check (event-arena handle
@@ -93,6 +100,19 @@ func checkRemediation(st *stack.Stack) *Violation {
 			return &Violation{Name: VioRemediation, Detail: fmt.Sprintf(
 				"cordon state diverged on %s: scheduler=%v api=%v", n.Name, sched, api)}
 		}
+	}
+	return nil
+}
+
+// checkConvergence verifies eventual convergence of the control plane:
+// once the event queue has drained, every informer cache must be
+// byte-identical to the API server's store — same keys, same resource
+// versions, same object contents. A mismatch means a write was lost or a
+// watch delivery vanished without the gap prober noticing. Must only run
+// on a drained queue; in-flight deliveries are legitimate divergence.
+func checkConvergence(st *stack.Stack) *Violation {
+	if err := st.Cluster.Client.VerifyCaches(); err != nil {
+		return &Violation{Name: VioConvergence, Detail: err.Error()}
 	}
 	return nil
 }

@@ -21,7 +21,25 @@ var (
 	// ErrPending is returned by Response.Err while the request is still in
 	// flight in virtual time.
 	ErrPending = errors.New("k8s: request still in flight")
+	// ErrUnavailable is returned by writes while the apiserver is in a full
+	// outage, and with the configured per-request probability while it is
+	// degraded. Retriable: the retrying client helpers back off and reissue.
+	ErrUnavailable = errors.New("k8s: apiserver unavailable")
+	// ErrTimeout is returned when a request's client-side deadline fires
+	// before the server commits; the pending commit is cancelled, so a timed
+	// out request is dropped, never half-applied. Retriable.
+	ErrTimeout = errors.New("k8s: request deadline exceeded")
+	// ErrRetriesExhausted is returned by the retrying client helpers when
+	// the conflict cap or the unavailability retry budget is spent. It wraps
+	// the final underlying error, so errors.Is works on both.
+	ErrRetriesExhausted = errors.New("k8s: retries exhausted")
 )
+
+// retriable reports whether err is a transient control-plane failure the
+// retry layer should back off and reissue on.
+func retriable(err error) bool {
+	return errors.Is(err, ErrUnavailable) || errors.Is(err, ErrTimeout)
+}
 
 // Response is the handle returned by every API write. The request completes
 // after the API round-trip latency in virtual time; callbacks registered
@@ -30,6 +48,29 @@ type Response struct {
 	err       error
 	completed bool
 	cbs       []func(error)
+	// pending is the queued server-side commit event, tracked so a
+	// client-side deadline can drop the request while it is on the wire.
+	pending    sim.Event
+	hasPending bool
+}
+
+// track records the queued server commit so abandon can cancel it.
+func (r *Response) track(ev sim.Event) *Response {
+	r.pending, r.hasPending = ev, true
+	return r
+}
+
+// abandon fails an in-flight request with err, cancelling the pending
+// server commit if it has not run yet — the client-deadline path. A request
+// that already completed is left untouched.
+func (r *Response) abandon(err error) {
+	if r.completed {
+		return
+	}
+	if r.hasPending {
+		r.pending.Cancel()
+	}
+	r.complete(err)
 }
 
 func (r *Response) complete(err error) {
@@ -88,6 +129,52 @@ func DefaultAPILatency() APILatency {
 	}
 }
 
+// Availability is the apiserver's health state under the fault model.
+type Availability int
+
+// Availability states.
+const (
+	// AvailUp is normal operation (the only state until a fault event arms
+	// the layer).
+	AvailUp Availability = iota
+	// AvailDegraded elevates request latency by a factor and fails each
+	// write independently with a configured probability.
+	AvailDegraded
+	// AvailDown fails every write with ErrUnavailable. Reads and status
+	// queries keep working (served from the HA watch cache); watch
+	// deliveries for events committed before the outage still drain.
+	AvailDown
+)
+
+// String names the availability state.
+func (a Availability) String() string {
+	switch a {
+	case AvailDegraded:
+		return "degraded"
+	case AvailDown:
+		return "down"
+	default:
+		return "up"
+	}
+}
+
+// apiFaults holds the fault-layer state. It is nil until the first fault
+// call arms the layer, so fault-free runs take no extra RNG draws and
+// schedule no extra events — their timelines stay byte-identical.
+type apiFaults struct {
+	state     Availability
+	latFactor float64
+	errProb   float64
+	// firstMissed records, per kind, the commit time of the oldest event a
+	// broken watch dropped — the zero point for staleness measurement,
+	// cleared when the informer relists.
+	firstMissed map[Kind]sim.Time
+	// loseWrites counts writes per kind to silently lose (commit without a
+	// watch event or sequence bump) — the debug hook the fuzzer's
+	// eventual-convergence invariant self-tests against.
+	loseWrites map[Kind]int
+}
+
 type watcher struct {
 	kind    Kind
 	handler func(Event)
@@ -95,6 +182,12 @@ type watcher struct {
 	// watcher. It makes delivery FIFO per watcher: events for one watcher
 	// arrive in commit order even though each draws independent jitter.
 	next sim.Time
+	// broken marks a silently severed stream: deliveries are dropped (not
+	// queued) until the watcher re-subscribes (informers: via relist).
+	broken bool
+	// pending tracks queued delivery timers by commit sequence so
+	// CancelPendingDeliveries can drop them at end of run.
+	pending map[uint64]sim.Event
 }
 
 // APIServer is the cluster state store. All mutation goes through it; all
@@ -116,11 +209,22 @@ type APIServer struct {
 	// cli is the lazily created shared client (one informer cache set per
 	// API server, like a shared informer factory).
 	cli *Client
+	// kindSeq is the per-kind commit sequence: bumped once per committed
+	// write, deletes included — dense per kind (ResourceVersion is global),
+	// which is what makes watch-gap detection cheap.
+	kindSeq map[Kind]uint64
+	// faults is nil until the first fault call arms the layer.
+	faults *apiFaults
 }
 
 // NewAPIServer creates an empty API server.
 func NewAPIServer(eng *sim.Engine, lat APILatency) *APIServer {
-	return &APIServer{eng: eng, lat: lat, stores: make(map[Kind]map[string]Object)}
+	return &APIServer{
+		eng:     eng,
+		lat:     lat,
+		stores:  make(map[Kind]map[string]Object),
+		kindSeq: make(map[Kind]uint64),
+	}
 }
 
 // Engine exposes the simulation engine to controllers.
@@ -145,12 +249,149 @@ func (a *APIServer) store(kind Kind) map[string]Object {
 }
 
 func (a *APIServer) reqDelay() sim.Duration {
-	return a.eng.Jitter(a.lat.Request, a.lat.Jitter)
+	d := a.lat.Request
+	if a.faults != nil && a.faults.state == AvailDegraded && a.faults.latFactor > 1 {
+		d = sim.Duration(float64(d) * a.faults.latFactor)
+	}
+	return a.eng.Jitter(d, a.lat.Jitter)
+}
+
+// armFaults lazily creates the fault-layer state. Once armed it stays
+// armed: client deadlines apply from here on, even after recovery.
+func (a *APIServer) armFaults() *apiFaults {
+	if a.faults == nil {
+		a.faults = &apiFaults{
+			latFactor:   1,
+			firstMissed: make(map[Kind]sim.Time),
+			loseWrites:  make(map[Kind]int),
+		}
+	}
+	return a.faults
+}
+
+// FailAPIServer begins a full outage: every write fails with
+// ErrUnavailable until RecoverAPIServer. Reads and queued watch deliveries
+// keep working (the watch cache is modelled as highly available).
+func (a *APIServer) FailAPIServer() {
+	f := a.armFaults()
+	f.state, f.latFactor, f.errProb = AvailDown, 1, 0
+}
+
+// DegradeAPIServer enters degraded mode: request latency is multiplied by
+// latFactor (clamped to ≥ 1) and each write independently fails with
+// probability errProb (clamped to [0, 1]).
+func (a *APIServer) DegradeAPIServer(latFactor, errProb float64) {
+	if latFactor < 1 {
+		latFactor = 1
+	}
+	errProb = max(0, min(1, errProb))
+	f := a.armFaults()
+	f.state, f.latFactor, f.errProb = AvailDegraded, latFactor, errProb
+}
+
+// RecoverAPIServer returns the apiserver to normal operation. The fault
+// layer stays armed (deadlines remain in force) but no further requests
+// fail or slow down.
+func (a *APIServer) RecoverAPIServer() {
+	f := a.armFaults()
+	f.state, f.latFactor, f.errProb = AvailUp, 1, 0
+}
+
+// Availability reports the current health state.
+func (a *APIServer) Availability() Availability {
+	if a.faults == nil {
+		return AvailUp
+	}
+	return a.faults.state
+}
+
+// FaultsArmed reports whether any fault call has armed the layer. Client
+// deadlines and resync probing key off this so fault-free runs schedule
+// nothing extra.
+func (a *APIServer) FaultsArmed() bool { return a.faults != nil }
+
+// BreakWatch silently severs every current watch stream on kind: the
+// watchers stay registered but their deliveries are dropped (not queued)
+// until the stream is repaired — for informers, by the automatic
+// relist-and-replay in the client's fault-recovery prober. Returns the
+// number of streams broken.
+func (a *APIServer) BreakWatch(kind Kind) int {
+	a.armFaults()
+	n := 0
+	for _, w := range a.watchers {
+		if w.kind == kind && !w.broken {
+			w.broken = true
+			n++
+		}
+	}
+	return n
+}
+
+// SetDebugLoseWrite arranges for the next n writes on kind to commit
+// without a watch notification or sequence bump — a true lost write,
+// invisible to gap detection. Test/fuzz hook only: the eventual-convergence
+// invariant self-tests that it would catch such a bug.
+func (a *APIServer) SetDebugLoseWrite(kind Kind, n int) {
+	a.armFaults().loseWrites[kind] = n
+}
+
+// admitWrite decides whether a write that finished its round trip commits.
+// Down: every write fails. Degraded: each write independently fails with
+// errProb, drawn from the engine RNG only in degraded mode so fault-free
+// timelines draw nothing extra.
+func (a *APIServer) admitWrite() error {
+	if a.faults == nil {
+		return nil
+	}
+	switch a.faults.state {
+	case AvailDown:
+		return ErrUnavailable
+	case AvailDegraded:
+		if a.faults.errProb > 0 && a.eng.Rand().Float64() < a.faults.errProb {
+			return ErrUnavailable
+		}
+	}
+	return nil
+}
+
+// KindSeq returns the per-kind commit sequence number.
+func (a *APIServer) KindSeq(kind Kind) uint64 { return a.kindSeq[kind] }
+
+// resumeWatch repairs a severed stream; deliveries resume with the next
+// commit. The informer relist path calls this before snapshotting.
+func (a *APIServer) resumeWatch(w *watcher) { w.broken = false }
+
+// takeFirstMissed returns and clears the commit time of the oldest event a
+// broken watch on kind dropped, if any.
+func (a *APIServer) takeFirstMissed(kind Kind) (sim.Time, bool) {
+	if a.faults == nil {
+		return 0, false
+	}
+	t, ok := a.faults.firstMissed[kind]
+	if ok {
+		delete(a.faults.firstMissed, kind)
+	}
+	return t, ok
 }
 
 func (a *APIServer) notify(t EventType, obj Object) {
+	kind := obj.GetMeta().Kind
+	if a.faults != nil && a.faults.loseWrites[kind] > 0 {
+		// Debug lost write: the commit stands but the watch timeline never
+		// hears of it — no sequence bump, no deliveries.
+		a.faults.loseWrites[kind]--
+		return
+	}
+	a.kindSeq[kind]++
+	seq := a.kindSeq[kind]
 	for _, w := range a.watchers {
-		if w.kind != obj.GetMeta().Kind {
+		if w.kind != kind {
+			continue
+		}
+		if w.broken {
+			if _, ok := a.faults.firstMissed[kind]; !ok {
+				a.faults.firstMissed[kind] = a.eng.Now()
+			}
 			continue
 		}
 		w := w
@@ -160,10 +401,27 @@ func (a *APIServer) notify(t EventType, obj Object) {
 			at = w.next
 		}
 		w.next = at
-		a.eng.At(at, func() {
-			w.handler(Event{Type: t, Object: cp})
+		w.pending[seq] = a.eng.At(at, func() {
+			delete(w.pending, seq)
+			w.handler(Event{Type: t, Object: cp, Seq: seq})
 		})
 	}
+}
+
+// CancelPendingDeliveries cancels every queued watch delivery timer and
+// returns how many were dropped. End-of-run teardown only: queued
+// deliveries otherwise hold RunUntilDone open after the last object is
+// deleted (the control-plane mirror of the kubelet exit-timer fix).
+func (a *APIServer) CancelPendingDeliveries() int {
+	n := 0
+	for _, w := range a.watchers {
+		for seq, ev := range w.pending {
+			ev.Cancel()
+			delete(w.pending, seq)
+			n++
+		}
+	}
+	return n
 }
 
 // Watch registers handler for all events on kind. Handlers run in virtual
@@ -172,7 +430,15 @@ func (a *APIServer) notify(t EventType, obj Object) {
 // Client.Watch, which shares one upstream watcher per kind and supports
 // namespace/selector filtering.
 func (a *APIServer) Watch(kind Kind, handler func(Event)) {
-	a.watchers = append(a.watchers, &watcher{kind: kind, handler: handler})
+	a.watch(kind, handler)
+}
+
+// watch is Watch returning the registration handle, so the informer can
+// repair its own stream after a break.
+func (a *APIServer) watch(kind Kind, handler func(Event)) *watcher {
+	w := &watcher{kind: kind, handler: handler, pending: make(map[uint64]sim.Event)}
+	a.watchers = append(a.watchers, w)
+	return w
 }
 
 // Create stores a new object, assigning its UID, creation time and first
@@ -180,7 +446,11 @@ func (a *APIServer) Watch(kind Kind, handler func(Event)) {
 // trip.
 func (a *APIServer) Create(obj Object) *Response {
 	resp := &Response{}
-	a.eng.After(a.reqDelay(), func() {
+	resp.track(a.eng.After(a.reqDelay(), func() {
+		if err := a.admitWrite(); err != nil {
+			resp.complete(err)
+			return
+		}
 		m := obj.GetMeta()
 		s := a.store(m.Kind)
 		if _, exists := s[m.Key()]; exists {
@@ -196,7 +466,7 @@ func (a *APIServer) Create(obj Object) *Response {
 		s[m.Key()] = stored
 		a.notify(EventAdded, stored)
 		resp.complete(nil)
-	})
+	}))
 	return resp
 }
 
@@ -236,7 +506,11 @@ func (a *APIServer) List(kind Kind, namespace string) []Object {
 func (a *APIServer) Update(obj Object) *Response {
 	resp := &Response{}
 	cp := obj.DeepCopy()
-	a.eng.After(a.reqDelay(), func() {
+	resp.track(a.eng.After(a.reqDelay(), func() {
+		if err := a.admitWrite(); err != nil {
+			resp.complete(err)
+			return
+		}
 		m := cp.GetMeta()
 		s := a.store(m.Kind)
 		old, ok := s[m.Key()]
@@ -261,7 +535,7 @@ func (a *APIServer) Update(obj Object) *Response {
 		if m.Deleting && len(m.Finalizers) == 0 {
 			a.finalizeDelete(m.Kind, m.Key())
 		}
-	})
+	}))
 	return resp
 }
 
@@ -272,7 +546,11 @@ func (a *APIServer) Update(obj Object) *Response {
 // garbage-collected after the owner vanishes.
 func (a *APIServer) Delete(kind Kind, namespace, name string) *Response {
 	resp := &Response{}
-	a.eng.After(a.reqDelay(), func() {
+	resp.track(a.eng.After(a.reqDelay(), func() {
+		if err := a.admitWrite(); err != nil {
+			resp.complete(err)
+			return
+		}
 		s := a.store(kind)
 		key := namespace + "/" + name
 		obj, ok := s[key]
@@ -293,7 +571,7 @@ func (a *APIServer) Delete(kind Kind, namespace, name string) *Response {
 		}
 		a.finalizeDelete(kind, key)
 		resp.complete(nil)
-	})
+	}))
 	return resp
 }
 
@@ -347,7 +625,11 @@ func (a *APIServer) collectOrphans(owner UID) {
 // pending delete when the finalizer list drains.
 func (a *APIServer) RemoveFinalizer(kind Kind, namespace, name, f string) *Response {
 	resp := &Response{}
-	a.eng.After(a.reqDelay(), func() {
+	resp.track(a.eng.After(a.reqDelay(), func() {
+		if err := a.admitWrite(); err != nil {
+			resp.complete(err)
+			return
+		}
 		s := a.store(kind)
 		key := namespace + "/" + name
 		obj, ok := s[key]
@@ -370,7 +652,7 @@ func (a *APIServer) RemoveFinalizer(kind Kind, namespace, name, f string) *Respo
 			a.finalizeDelete(m.Kind, key)
 		}
 		resp.complete(nil)
-	})
+	}))
 	return resp
 }
 
@@ -389,4 +671,15 @@ func (a *APIServer) UpdateStatus(kind Kind, namespace, name string, fn func(Obje
 		a.notify(EventModified, obj)
 	}
 	return true
+}
+
+// TryUpdateStatus is UpdateStatus with the availability model applied: it
+// returns ErrUnavailable instead of committing while the apiserver is down
+// (or when a degraded-mode error is drawn). UpdateStatus itself stays
+// fault-oblivious — the privileged path harnesses and tests use.
+func (a *APIServer) TryUpdateStatus(kind Kind, namespace, name string, fn func(Object) bool) (bool, error) {
+	if err := a.admitWrite(); err != nil {
+		return false, err
+	}
+	return a.UpdateStatus(kind, namespace, name, fn), nil
 }

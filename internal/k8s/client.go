@@ -3,7 +3,9 @@ package k8s
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
+	"time"
 
 	"github.com/caps-sim/shs-k8s/internal/sim"
 )
@@ -116,6 +118,24 @@ type Informer struct {
 	byNS     map[string]map[string]Object
 	indexes  map[string]*informerIndex
 	handlers []*watchReg
+	// upstream is this informer's registration with the apiserver, kept so
+	// a relist can repair its own severed stream.
+	upstream *watcher
+	// lastSeq is the per-kind commit sequence of the last absorbed watch
+	// event (or the relist horizon); probeSeq is lastSeq at the previous
+	// prober tick, so the prober can tell a lagging stream from a dead one.
+	lastSeq  uint64
+	probeSeq uint64
+	// hasGap/gapSince track how long the cache has been behind the store
+	// without the stream making progress.
+	hasGap   bool
+	gapSince sim.Time
+	// stale marks the window between gap detection and repair; lister reads
+	// in that window are counted as stale.
+	stale        bool
+	relists      uint64
+	staleReads   uint64
+	maxStaleness sim.Duration
 }
 
 func newInformer(api *APIServer, kind Kind) *Informer {
@@ -125,13 +145,14 @@ func newInformer(api *APIServer, kind Kind) *Informer {
 		objs:    make(map[string]Object),
 		byNS:    make(map[string]map[string]Object),
 		indexes: make(map[string]*informerIndex),
+		lastSeq: api.kindSeq[kind],
 	}
 	// Initial LIST: seed the cache from the store synchronously so an
 	// informer created after objects already exist starts warm.
 	for key, obj := range api.store(kind) {
 		inf.apply(key, obj.DeepCopy())
 	}
-	api.Watch(kind, inf.onEvent)
+	inf.upstream = api.watch(kind, inf.onEvent)
 	return inf
 }
 
@@ -194,6 +215,12 @@ func (inf *Informer) remove(key string) {
 // handlers may mutate their event object freely (the cached copy is never
 // handed out for writing).
 func (inf *Informer) onEvent(ev Event) {
+	if ev.Seq != 0 && ev.Seq <= inf.lastSeq {
+		// An in-flight delivery from before a relist: its effect is already
+		// in the snapshot the relist rebuilt and replayed. Drop it.
+		return
+	}
+	inf.lastSeq = ev.Seq
 	key := ev.Object.GetMeta().Key()
 	switch ev.Type {
 	case EventDeleted:
@@ -201,11 +228,97 @@ func (inf *Informer) onEvent(ev Event) {
 	default:
 		inf.apply(key, ev.Object)
 	}
+	inf.dispatch(ev)
+}
+
+// dispatch fans one event out to matching handlers, a deep copy each.
+func (inf *Informer) dispatch(ev Event) {
 	for _, reg := range inf.handlers {
 		if !reg.opts.matches(ev.Object) {
 			continue
 		}
-		reg.handler(Event{Type: ev.Type, Object: ev.Object.DeepCopy()})
+		reg.handler(Event{Type: ev.Type, Object: ev.Object.DeepCopy(), Seq: ev.Seq})
+	}
+}
+
+// relist rebuilds the cache from a fresh store snapshot and replays the
+// diff to handlers — the informer resync path behind a broken or stalled
+// watch. The new cache (objects, per-namespace view, every index) is built
+// completely and swapped in atomically before any handler runs, so
+// handlers and listers never observe a half-updated view; the replayed
+// events then re-deliver the missed changes in sorted key order.
+func (inf *Informer) relist() {
+	inf.relists++
+	if inf.upstream.broken {
+		inf.api.resumeWatch(inf.upstream)
+	}
+	if t, ok := inf.api.takeFirstMissed(inf.kind); ok {
+		if d := inf.api.eng.Now().Sub(t); d > inf.maxStaleness {
+			inf.maxStaleness = d
+		}
+	}
+	horizon := inf.api.kindSeq[inf.kind]
+
+	old := inf.objs
+	objs := make(map[string]Object, len(old))
+	byNS := make(map[string]map[string]Object)
+	indexes := make(map[string]*informerIndex, len(inf.indexes))
+	for name, ix := range inf.indexes {
+		indexes[name] = &informerIndex{
+			fn:      ix.fn,
+			buckets: make(map[string]map[string]Object),
+			keyVals: make(map[string][]string),
+		}
+	}
+	for key, obj := range inf.api.store(inf.kind) {
+		cp := obj.DeepCopy()
+		objs[key] = cp
+		ns := cp.GetMeta().Namespace
+		b := byNS[ns]
+		if b == nil {
+			b = make(map[string]Object)
+			byNS[ns] = b
+		}
+		b[key] = cp
+		for _, ix := range indexes {
+			ix.add(key, cp)
+		}
+	}
+	inf.objs, inf.byNS, inf.indexes = objs, byNS, indexes
+	inf.lastSeq = horizon
+	inf.probeSeq = horizon
+	inf.stale = false
+	inf.hasGap = false
+
+	// Replay: synthesize the diff between the old cache and the snapshot.
+	keys := make([]string, 0, len(old)+len(objs))
+	for k := range old {
+		keys = append(keys, k)
+	}
+	for k := range objs {
+		if _, dup := old[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		oldObj, hadOld := old[key]
+		newObj, hasNew := objs[key]
+		switch {
+		case hadOld && !hasNew:
+			inf.dispatch(Event{Type: EventDeleted, Object: oldObj, Seq: horizon})
+		case !hadOld && hasNew:
+			inf.dispatch(Event{Type: EventAdded, Object: newObj, Seq: horizon})
+		case oldObj.GetMeta().ResourceVersion != newObj.GetMeta().ResourceVersion:
+			inf.dispatch(Event{Type: EventModified, Object: newObj, Seq: horizon})
+		}
+	}
+}
+
+// noteRead counts lister reads served while the cache is known stale.
+func (inf *Informer) noteRead() {
+	if inf.stale {
+		inf.staleReads++
 	}
 }
 
@@ -218,6 +331,7 @@ type Lister struct {
 
 // Get returns the cached object, if present. Read-only.
 func (l Lister) Get(namespace, name string) (Object, bool) {
+	l.inf.noteRead()
 	obj, ok := l.inf.objs[namespace+"/"+name]
 	return obj, ok
 }
@@ -225,6 +339,7 @@ func (l Lister) Get(namespace, name string) (Object, bool) {
 // List returns the cached objects of the namespace ("" = all) in key order.
 // Read-only.
 func (l Lister) List(namespace string) []Object {
+	l.inf.noteRead()
 	var src map[string]Object
 	if namespace == "" {
 		src = l.inf.objs
@@ -237,6 +352,7 @@ func (l Lister) List(namespace string) []Object {
 // ByIndex returns the cached objects filed under value in the named index,
 // in key order. Read-only. O(match), not O(all objects).
 func (l Lister) ByIndex(name, value string) []Object {
+	l.inf.noteRead()
 	ix, ok := l.inf.indexes[name]
 	if !ok {
 		panic(fmt.Sprintf("k8s: lister for %s: index %q not registered", l.inf.kind, name))
@@ -247,6 +363,7 @@ func (l Lister) ByIndex(name, value string) []Object {
 // IndexCount reports how many cached objects are filed under value — the
 // allocation-free form of len(ByIndex(...)).
 func (l Lister) IndexCount(name, value string) int {
+	l.inf.noteRead()
 	ix, ok := l.inf.indexes[name]
 	if !ok {
 		panic(fmt.Sprintf("k8s: lister for %s: index %q not registered", l.inf.kind, name))
@@ -277,10 +394,84 @@ func sortedValues(src map[string]Object) []Object {
 type Client struct {
 	api       *APIServer
 	informers map[Kind]*Informer
+	retry     RetryConfig
+	stats     CPStats
+	// prober is the fault-recovery resync tick (EnableFaultRecovery).
+	prober   sim.Event
+	proberOn bool
 }
 
 func newClient(api *APIServer) *Client {
-	return &Client{api: api, informers: make(map[Kind]*Informer)}
+	return &Client{
+		api:       api,
+		informers: make(map[Kind]*Informer),
+		retry:     DefaultRetryConfig(),
+	}
+}
+
+// RetryConfig governs the client-side fault handling: the jittered
+// exponential backoff the *WithRetry helpers apply on unavailability, and
+// the per-attempt deadline armed once the fault layer is armed.
+type RetryConfig struct {
+	// Budget is how many times a request is reissued after transient
+	// failures before ErrRetriesExhausted.
+	Budget int
+	// BaseBackoff is the first retry delay; it doubles per retry up to
+	// MaxBackoff, each draw jittered by Jitter (uniform fraction).
+	BaseBackoff sim.Duration
+	MaxBackoff  sim.Duration
+	Jitter      float64
+	// Deadline bounds each attempt once faults are armed; a request that
+	// has not committed by then is dropped on the wire and fails with
+	// ErrTimeout. Zero disables deadlines.
+	Deadline sim.Duration
+}
+
+// DefaultRetryConfig sizes the budget so the total backoff span (~4s)
+// outlasts the outage windows the chaos scenarios inject.
+func DefaultRetryConfig() RetryConfig {
+	return RetryConfig{
+		Budget:      10,
+		BaseBackoff: 20 * time.Millisecond,
+		MaxBackoff:  800 * time.Millisecond,
+		Jitter:      0.5,
+		Deadline:    250 * time.Millisecond,
+	}
+}
+
+// CPStats aggregates the control-plane fault-layer counters: retry-layer
+// activity on the client plus relist/staleness counters from the shared
+// informers.
+type CPStats struct {
+	// Retries counts reissues after ErrUnavailable/ErrTimeout.
+	Retries uint64
+	// Conflicts counts ErrConflict re-reads inside UpdateWithRetry.
+	Conflicts uint64
+	// Timeouts counts client-deadline expiries.
+	Timeouts uint64
+	// Exhausted counts requests that spent their whole retry budget.
+	Exhausted uint64
+	// Relists counts informer resyncs (relist-and-replay repairs).
+	Relists uint64
+	// StaleReads counts lister reads served between gap detection and
+	// repair.
+	StaleReads uint64
+	// MaxStalenessUs is the longest observed cache staleness at repair
+	// time: relist time minus the commit time of the oldest missed event.
+	MaxStalenessUs float64
+}
+
+// Stats snapshots the fault-layer counters.
+func (c *Client) Stats() CPStats {
+	s := c.stats
+	for _, inf := range c.informers {
+		s.Relists += inf.relists
+		s.StaleReads += inf.staleReads
+		if us := float64(inf.maxStaleness.Microseconds()); us > s.MaxStalenessUs {
+			s.MaxStalenessUs = us
+		}
+	}
+	return s
 }
 
 // Engine exposes the simulation engine (the virtual clock all request and
@@ -341,21 +532,135 @@ func (c *Client) UpdateStatus(kind Kind, namespace, name string, fn func(Object)
 	return c.api.UpdateStatus(kind, namespace, name, fn)
 }
 
-// maxUpdateRetries bounds UpdateWithRetry against livelock; in a
+// withDeadline arms a client-side deadline on an in-flight request once
+// the fault layer is armed: if the request has not completed when the
+// deadline fires, the pending server commit is cancelled (the request is
+// dropped on the wire, never half-applied) and the Response fails with
+// ErrTimeout. Fault-free sessions never arm timers, keeping their event
+// streams byte-identical.
+func (c *Client) withDeadline(r *Response) *Response {
+	if r.completed || c.retry.Deadline <= 0 || !c.api.FaultsArmed() {
+		return r
+	}
+	t := c.api.eng.After(c.retry.Deadline, func() { r.abandon(ErrTimeout) })
+	r.Done(func(error) { t.Cancel() })
+	return r
+}
+
+// backoffDelay draws one jittered backoff interval.
+func (c *Client) backoffDelay(d sim.Duration) sim.Duration {
+	if d > c.retry.MaxBackoff {
+		d = c.retry.MaxBackoff
+	}
+	return c.api.eng.Jitter(d, c.retry.Jitter)
+}
+
+// retryWrite issues issue() under the deadline, and on unavailability or
+// timeout reissues it after a jittered exponential backoff until the retry
+// budget is spent, then completes resp with ErrRetriesExhausted wrapping
+// the final error. Non-transient errors pass through unchanged.
+func (c *Client) retryWrite(resp *Response, issue func() *Response) {
+	var attempt func(left int, backoff sim.Duration)
+	attempt = func(left int, backoff sim.Duration) {
+		c.withDeadline(issue()).Done(func(err error) {
+			if err == nil || !retriable(err) {
+				resp.complete(err)
+				return
+			}
+			if errors.Is(err, ErrTimeout) {
+				c.stats.Timeouts++
+			}
+			if left <= 0 {
+				c.stats.Exhausted++
+				resp.complete(fmt.Errorf("%w: %w", ErrRetriesExhausted, err))
+				return
+			}
+			c.stats.Retries++
+			c.api.eng.After(c.backoffDelay(backoff), func() {
+				attempt(left-1, min(backoff*2, c.retry.MaxBackoff))
+			})
+		})
+	}
+	attempt(c.retry.Budget, c.retry.BaseBackoff)
+}
+
+// CreateWithRetry is Create behind the retry layer: transient apiserver
+// failures are retried with jittered exponential backoff instead of being
+// surfaced to the controller. On a fault-free server it behaves exactly
+// like Create.
+func (c *Client) CreateWithRetry(obj Object) *Response {
+	resp := &Response{}
+	c.retryWrite(resp, func() *Response { return c.api.Create(obj) })
+	return resp
+}
+
+// UpdateWithBackoff is a conflict-checked Update behind the retry layer.
+// ErrConflict passes through (callers needing read-modify-write semantics
+// use UpdateWithRetry); unavailability and timeouts are retried.
+func (c *Client) UpdateWithBackoff(obj Object) *Response {
+	resp := &Response{}
+	c.retryWrite(resp, func() *Response { return c.api.Update(obj) })
+	return resp
+}
+
+// DeleteWithRetry is Delete behind the retry layer.
+func (c *Client) DeleteWithRetry(kind Kind, namespace, name string) *Response {
+	resp := &Response{}
+	c.retryWrite(resp, func() *Response { return c.api.Delete(kind, namespace, name) })
+	return resp
+}
+
+// RemoveFinalizerWithRetry is RemoveFinalizer behind the retry layer: a
+// finalizer removal dropped to an apiserver outage would wedge its
+// object's deletion forever, so controllers must queue it with backoff.
+func (c *Client) RemoveFinalizerWithRetry(kind Kind, namespace, name, f string) *Response {
+	resp := &Response{}
+	c.retryWrite(resp, func() *Response { return c.api.RemoveFinalizer(kind, namespace, name, f) })
+	return resp
+}
+
+// UpdateStatusWithRetry is the node agents' status write behind the retry
+// layer: synchronous and indistinguishable from UpdateStatus on a healthy
+// server, queued behind jittered backoff while it is unavailable. A
+// missing object completes with ErrNotFound (the object was deleted; the
+// status write is moot).
+func (c *Client) UpdateStatusWithRetry(kind Kind, namespace, name string, fn func(Object) bool) *Response {
+	resp := &Response{}
+	c.retryWrite(resp, func() *Response {
+		r := &Response{}
+		ok, err := c.api.TryUpdateStatus(kind, namespace, name, fn)
+		switch {
+		case err != nil:
+			r.complete(err)
+		case !ok:
+			r.complete(fmt.Errorf("%w: %s %s/%s", ErrNotFound, kind, namespace, name))
+		default:
+			r.complete(nil)
+		}
+		return r
+	})
+	return resp
+}
+
+// maxUpdateRetries bounds UpdateWithRetry's consecutive-conflict cap; in a
 // single-threaded simulation more than a handful of consecutive conflicts
 // on one object indicates a logic error.
 const maxUpdateRetries = 16
 
 // UpdateWithRetry is the Patch-style read-modify-write helper: it Gets the
 // latest object, applies mutate, and Updates with the fresh
-// ResourceVersion; on ErrConflict it re-reads and retries. mutate returning
-// false skips the write and completes the Response with nil (nothing to
-// do). mutate may be called several times and must therefore be idempotent
-// against the object it is handed.
+// ResourceVersion; on ErrConflict it re-reads and retries — immediately on
+// the first conflict (the common lost-race case), behind a jittered
+// exponential backoff on consecutive conflicts, and never more than
+// maxUpdateRetries times before failing with ErrRetriesExhausted.
+// Unavailability and timeouts are retried under the RetryConfig budget.
+// mutate returning false skips the write and completes the Response with
+// nil (nothing to do). mutate may be called several times and must
+// therefore be idempotent against the object it is handed.
 func (c *Client) UpdateWithRetry(kind Kind, namespace, name string, mutate func(Object) bool) *Response {
 	resp := &Response{}
-	var attempt func(retries int)
-	attempt = func(retries int) {
+	var attempt func(conflicts, budget int, backoff sim.Duration)
+	attempt = func(conflicts, budget int, backoff sim.Duration) {
 		obj, ok := c.api.Get(kind, namespace, name)
 		if !ok {
 			resp.complete(fmt.Errorf("%w: %s %s/%s", ErrNotFound, kind, namespace, name))
@@ -365,14 +670,155 @@ func (c *Client) UpdateWithRetry(kind Kind, namespace, name string, mutate func(
 			resp.complete(nil)
 			return
 		}
-		c.api.Update(obj).Done(func(err error) {
-			if err == nil || !errors.Is(err, ErrConflict) || retries <= 0 {
+		c.withDeadline(c.api.Update(obj)).Done(func(err error) {
+			switch {
+			case err == nil:
+				resp.complete(nil)
+			case errors.Is(err, ErrConflict):
+				c.stats.Conflicts++
+				if conflicts >= maxUpdateRetries {
+					c.stats.Exhausted++
+					resp.complete(fmt.Errorf("%w: %w", ErrRetriesExhausted, err))
+					return
+				}
+				if conflicts == 0 || !c.api.FaultsArmed() {
+					// Immediate re-read: the common lost-race case — and
+					// the only conflict path while the fault layer is
+					// unarmed, so fault-free timelines draw no backoff
+					// jitter and stay byte-identical.
+					attempt(conflicts+1, budget, backoff)
+					return
+				}
+				c.api.eng.After(c.backoffDelay(backoff), func() {
+					attempt(conflicts+1, budget, min(backoff*2, c.retry.MaxBackoff))
+				})
+			case retriable(err):
+				if errors.Is(err, ErrTimeout) {
+					c.stats.Timeouts++
+				}
+				if budget <= 0 {
+					c.stats.Exhausted++
+					resp.complete(fmt.Errorf("%w: %w", ErrRetriesExhausted, err))
+					return
+				}
+				c.stats.Retries++
+				c.api.eng.After(c.backoffDelay(backoff), func() {
+					attempt(conflicts, budget-1, min(backoff*2, c.retry.MaxBackoff))
+				})
+			default:
 				resp.complete(err)
-				return
 			}
-			attempt(retries - 1)
 		})
 	}
-	attempt(maxUpdateRetries)
+	attempt(0, c.retry.Budget, c.retry.BaseBackoff)
 	return resp
+}
+
+// resyncInterval is the fault-recovery prober period: how often informer
+// caches are checked for watch gaps. Detection latency for a dead stream
+// is at most two periods.
+const resyncInterval = 100 * time.Millisecond
+
+// EnableFaultRecovery starts the informer resync prober: a fixed tick that
+// detects broken or stalled watch streams via per-kind sequence gaps and
+// repairs them by relist-and-replay. Idempotent. The scenario layer arms
+// it when the first control-plane fault event executes, so fault-free runs
+// schedule no tick.
+func (c *Client) EnableFaultRecovery() {
+	if c.proberOn {
+		return
+	}
+	c.proberOn = true
+	c.prober = c.api.eng.After(resyncInterval, c.probeTick)
+}
+
+// StopFaultRecovery stops the prober and performs one final repair sweep:
+// any informer still behind the store (severed stream or undelivered gap)
+// is relisted, so post-run drains converge deterministically. Safe to call
+// when never enabled.
+func (c *Client) StopFaultRecovery() {
+	if !c.proberOn {
+		return
+	}
+	c.proberOn = false
+	c.prober.Cancel()
+	for _, kind := range c.sortedKinds() {
+		inf := c.informers[kind]
+		if inf.upstream.broken || c.api.kindSeq[kind] > inf.lastSeq {
+			inf.relist()
+		}
+	}
+}
+
+func (c *Client) sortedKinds() []Kind {
+	kinds := make([]Kind, 0, len(c.informers))
+	for k := range c.informers {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}
+
+func (c *Client) probeTick() {
+	if !c.proberOn {
+		return
+	}
+	now := c.api.eng.Now()
+	for _, kind := range c.sortedKinds() {
+		inf := c.informers[kind]
+		gap := c.api.kindSeq[kind] > inf.lastSeq
+		switch {
+		case !gap:
+			inf.stale = false
+			inf.hasGap = false
+		case !inf.hasGap || inf.lastSeq != inf.probeSeq:
+			// New gap, or the stream moved since the last probe: it may
+			// just be delivery lag. Mark stale, restart the clock.
+			inf.hasGap = true
+			inf.gapSince = now
+			inf.stale = true
+		case now.Sub(inf.gapSince) >= resyncInterval:
+			// The gap persisted a full period with zero progress: the
+			// stream is severed or stalled. Relist.
+			inf.relist()
+		}
+		inf.probeSeq = inf.lastSeq
+	}
+	c.prober = c.api.eng.After(resyncInterval, c.probeTick)
+}
+
+// VerifyCaches compares every informer cache against the live store: same
+// key sets, same per-key ResourceVersions, deep-equal objects. It returns
+// nil when every cache has fully converged — the post-drain
+// eventual-convergence check behind the fuzzer invariant and the
+// cp_converged assertion.
+func (c *Client) VerifyCaches() error {
+	for _, kind := range c.sortedKinds() {
+		inf := c.informers[kind]
+		store := c.api.store(kind)
+		if len(inf.objs) != len(store) {
+			return fmt.Errorf("k8s: %s cache has %d objects, store has %d",
+				kind, len(inf.objs), len(store))
+		}
+		keys := make([]string, 0, len(store))
+		for k := range store {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			cached, ok := inf.objs[key]
+			if !ok {
+				return fmt.Errorf("k8s: %s cache missing %s", kind, key)
+			}
+			crv, srv := cached.GetMeta().ResourceVersion, store[key].GetMeta().ResourceVersion
+			if crv != srv {
+				return fmt.Errorf("k8s: %s cache stale at %s (cached rv %d, stored %d)",
+					kind, key, crv, srv)
+			}
+			if !reflect.DeepEqual(cached, store[key]) {
+				return fmt.Errorf("k8s: %s cache diverged at %s (equal rv %d)", kind, key, crv)
+			}
+		}
+	}
+	return nil
 }

@@ -68,10 +68,11 @@ func (c *Cluster) CreateNamespace(name string) {
 }
 
 // SubmitJob creates a job resource; the Response completes after the API
-// round trip.
+// round trip. Submissions ride the retry layer, so a job submitted into an
+// apiserver outage is queued with backoff rather than lost.
 func (c *Cluster) SubmitJob(job *Job) *Response {
 	job.Meta.Kind = KindJob
-	return c.Client.Create(job)
+	return c.Client.CreateWithRetry(job)
 }
 
 // Job returns the current state of a job (a live read; the caller may

@@ -1,6 +1,7 @@
 package k8s
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -169,9 +170,15 @@ func (c *JobController) reconcile(key string) {
 	}
 	c.created[key] = n + 1
 	c.lastOp = c.cli.Engine().Now()
-	c.cli.Create(pod).Done(func(err error) {
+	c.cli.CreateWithRetry(pod).Done(func(err error) {
 		if err != nil {
 			c.created[key]--
+			// Retry budget spent against an unavailable apiserver: the
+			// write was queued, not dropped — requeue so the pod is
+			// recreated once the control plane recovers.
+			if errors.Is(err, ErrRetriesExhausted) {
+				c.enqueue(key)
+			}
 		}
 	})
 	if c.created[key] < job.Spec.Parallelism+c.lost[key] {
@@ -269,7 +276,7 @@ func (c *JobController) onPodUpdate(pod *Pod) {
 			return
 		}
 		c.cli.Engine().After(ttl, func() {
-			c.cli.Delete(KindJob, ns, jobName)
+			c.cli.DeleteWithRetry(KindJob, ns, jobName)
 		})
 	})
 }

@@ -283,4 +283,9 @@ func (e EventType) String() string {
 type Event struct {
 	Type   EventType
 	Object Object
+	// Seq is the per-kind commit sequence number of the write that produced
+	// this event (1-based, dense per kind — unlike ResourceVersion, which is
+	// global). Informers compare it against the store's current sequence to
+	// detect watch gaps; replayed relist events carry the relist horizon.
+	Seq uint64
 }

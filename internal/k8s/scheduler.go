@@ -237,14 +237,17 @@ func (s *Scheduler) bind(key string) {
 	pod.Spec.NodeName = node
 	pod.Status.Phase = PodScheduled
 	s.assumed[key] = assumedBinding{node: node, job: jobKeyOf(pod)}
-	s.cli.Update(pod).Done(func(err error) {
+	s.cli.UpdateWithBackoff(pod).Done(func(err error) {
 		if err == nil {
 			return
 		}
 		// The pod changed or vanished under us: drop the assumption and,
-		// on conflict, let a fresh read decide again.
+		// on conflict, let a fresh read decide again. When the apiserver
+		// stayed unavailable past the retry budget, requeue too — the
+		// scheduler keeps placing from its cache and the next attempt
+		// rebinds once writes go through again.
 		delete(s.assumed, key)
-		if errors.Is(err, ErrConflict) {
+		if errors.Is(err, ErrConflict) || errors.Is(err, ErrRetriesExhausted) {
 			s.enqueue(key)
 		}
 	})

@@ -159,9 +159,11 @@ func (d *Decorator) reconcile(key string, done func()) {
 			})
 			return
 		}
-		// Finalized: remove all children, then the finalizer.
+		// Finalized: remove all children, then the finalizer. The removal
+		// rides the retry layer: dropping it to an apiserver outage would
+		// wedge the parent's deletion forever.
 		d.applyChildren(meta, nil, func() {
-			d.cli.RemoveFinalizer(d.cfg.ParentKind, ns, name, d.cfg.Finalizer).Done(func(error) { done() })
+			d.cli.RemoveFinalizerWithRetry(d.cfg.ParentKind, ns, name, d.cfg.Finalizer).Done(func(error) { done() })
 		})
 		return
 	}
@@ -231,19 +233,22 @@ func (d *Decorator) applyChildren(parent *k8s.Meta, desired []*k8s.Custom, done 
 		w.Meta.Namespace = parent.Namespace
 		w.Meta.OwnerUID = parent.UID
 		wantByName[w.Meta.Name] = w
+		// Child writes ride the retry layer: a VNI child create dropped to
+		// a degraded or unavailable apiserver would leave the parent's
+		// pod-creation gate closed forever (nothing re-triggers the sync).
 		if cur, exists := curByName[w.Meta.Name]; exists {
 			if !specsEqual(cur.Spec, w.Spec) {
-				ops = append(ops, func() { d.cli.Update(w).Done(finish) })
+				ops = append(ops, func() { d.cli.UpdateWithBackoff(w).Done(finish) })
 			}
 			continue
 		}
-		ops = append(ops, func() { d.cli.Create(w).Done(finish) })
+		ops = append(ops, func() { d.cli.CreateWithRetry(w).Done(finish) })
 	}
 	for _, c := range current {
 		c := c
 		if _, keep := wantByName[c.Meta.Name]; !keep {
 			ops = append(ops, func() {
-				d.cli.Delete(d.cfg.ChildKind, c.Meta.Namespace, c.Meta.Name).Done(finish)
+				d.cli.DeleteWithRetry(d.cfg.ChildKind, c.Meta.Namespace, c.Meta.Name).Done(finish)
 			})
 		}
 	}

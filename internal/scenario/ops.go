@@ -72,6 +72,10 @@ type Ops struct {
 	recoverUs  map[string]float64
 	// injectors holds the stop handles of live slow-drain error injectors.
 	injectors map[string]*errorInjector
+	// cpArmed records that a control-plane fault event armed the API
+	// server's availability model and the client's gap prober (cp_ops.go);
+	// fault-free runs never arm, keeping their timelines byte-identical.
+	cpArmed bool
 	// violations counts isolation-probe enforcement failures (forged
 	// packets delivered, cross-VNI endpoints granted).
 	violations int
@@ -184,6 +188,14 @@ func (r *Ops) Exec(ev *Event) error {
 		return r.execRemediate(ev)
 	case "wait_remediated":
 		return r.waitRemediated(ev)
+	case "fail_apiserver":
+		return r.failAPIServer()
+	case "degrade_apiserver":
+		return r.degradeAPIServer(ev)
+	case "recover_apiserver":
+		return r.recoverAPIServer()
+	case "break_watch":
+		return r.breakWatch(ev)
 	case "probe_isolation":
 		return r.probeIsolation()
 	case "pingpong":
@@ -299,6 +311,11 @@ func (r *Ops) startFleet() error {
 		if r.daemon != nil {
 			src.Health = r.healthStats
 		}
+		// Always attached: the control-plane fault layer arms mid-run (on
+		// the first fault event), after this sampler exists. The source
+		// reports Armed=false until then, which omits every control-plane
+		// field from the sample.
+		src.ControlPlane = r.cpStats
 		r.sampler.Attach(src)
 		r.logf("telemetry: sampling every %s", t.SampleEvery)
 	}
@@ -858,6 +875,23 @@ func (r *Ops) Actual(a Assertion) float64 {
 			return 0
 		}
 		return r.sampler.PeakLinkUtilization()
+	case "apiserver_retries":
+		return float64(r.st.Cluster.Client.Stats().Retries)
+	case "watch_relists":
+		return float64(r.st.Cluster.Client.Stats().Relists)
+	case "stale_reads":
+		return float64(r.st.Cluster.Client.Stats().StaleReads)
+	case "max_staleness_us":
+		return r.st.Cluster.Client.Stats().MaxStalenessUs
+	case "cp_converged":
+		// 1 when every informer cache matches the API server's store
+		// exactly — the eventual-convergence check. Fault-free runs read 1
+		// by construction (caches only drift when a fault event broke a
+		// watch or an outage delayed deliveries past run end).
+		if r.st.Cluster.Client.VerifyCaches() == nil {
+			return 1
+		}
+		return 0
 	}
 	return 0 // unreachable: Validate rejects unknown types
 }

@@ -119,6 +119,12 @@ func RunHooked(sc *Scenario, hooks Hooks) (res *Result) {
 		}
 	}
 	r.res.SimTime = r.st.Eng.Now()
+	// Stop the control-plane gap prober before evaluating assertions: its
+	// final sweep relists any informer still broken or behind, so a
+	// cp_converged (or any lister-backed) assertion reads the repaired
+	// caches rather than racing the prober's next tick. No-op on runs that
+	// never armed the fault layer.
+	r.StopCP()
 	for _, a := range sc.Assertions {
 		r.res.Asserts = append(r.res.Asserts, r.evaluate(a))
 	}
@@ -133,6 +139,11 @@ func RunHooked(sc *Scenario, hooks Hooks) (res *Result) {
 	if hooks.AfterRun != nil {
 		hooks.AfterRun(r.st, r.res)
 	}
+	// The result is final: cancel watch deliveries still queued on the
+	// engine (status updates committed in the run's last instants) so a
+	// caller that keeps driving the engine — or waits for it to idle —
+	// is not held open by deliveries nothing will observe.
+	r.st.Cluster.API.CancelPendingDeliveries()
 	return r.res
 }
 

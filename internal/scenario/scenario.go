@@ -679,6 +679,13 @@ var actions = map[string]actionSpec{
 	"flap_trunk":      {required: []string{"switches"}, optional: []string{"period", "count"}},
 	"remediate":       {needsTarget: "node"},
 	"wait_remediated": {optional: []string{"count", "timeout"}},
+	// Control-plane fault events. Self-arming — no section needed: the
+	// presence of any of these is what opts a run into the fault layer
+	// (and its resync prober); without them timelines are untouched.
+	"fail_apiserver":    {},
+	"degrade_apiserver": {optional: []string{"latency_factor", "error_prob"}},
+	"recover_apiserver": {},
+	"break_watch":       {required: []string{"kind"}},
 }
 
 // healthActions require the health: section.
@@ -727,6 +734,15 @@ var assertionTargets = map[string]string{
 	"nodes_cordoned":     "",
 	"remediations_done":  "",
 	"traffic_migrations": "run",
+	// Control-plane fault-layer probes: client retry/relist counters and
+	// the post-run convergence check (1 when every informer cache matches
+	// the apiserver store). All read 0 (cp_converged: 1) in fault-free
+	// runs, so they are valid without fault events.
+	"apiserver_retries": "",
+	"watch_relists":     "",
+	"stale_reads":       "",
+	"max_staleness_us":  "",
+	"cp_converged":      "",
 }
 
 var latencyStats = map[string]bool{"p50": true, "p90": true, "p99": true, "max": true, "mean": true}
@@ -913,6 +929,24 @@ func (sc *Scenario) validateEvent(ev *Event, tenants map[string]bool) error {
 	if ev.Action == "flap_trunk" {
 		if _, _, err := sc.trunkPair(ev, ev.Params["switches"]); err != nil {
 			return err
+		}
+	}
+	if ev.Action == "degrade_apiserver" {
+		if v, ok := ev.Params["latency_factor"]; ok {
+			if f, err := strconv.ParseFloat(v, 64); err != nil || f < 1 {
+				return sc.errAt(ev.Line, "degrade_apiserver: latency_factor: must be a number ≥ 1, got %q", v)
+			}
+		}
+		if v, ok := ev.Params["error_prob"]; ok {
+			if f, err := strconv.ParseFloat(v, 64); err != nil || f < 0 || f >= 1 {
+				return sc.errAt(ev.Line, "degrade_apiserver: error_prob: must be in [0, 1), got %q", v)
+			}
+		}
+	}
+	if ev.Action == "break_watch" {
+		if _, ok := cpWatchKinds[ev.Params["kind"]]; !ok {
+			return sc.errAt(ev.Line, "break_watch: kind: must be one of %s, got %q",
+				cpWatchKindNames(), ev.Params["kind"])
 		}
 	}
 	return nil

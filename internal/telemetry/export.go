@@ -124,6 +124,26 @@ func (s *Sampler) WritePrometheus(w io.Writer) error {
 		fmt.Fprintf(bw, "shssim_remediations{state=\"active\"} %d\n", sm.Remediating)
 		fmt.Fprintf(bw, "shssim_remediations{state=\"done\"} %d\n", sm.Remediated)
 	}
+	// Control-plane metrics appear only once a fault event armed the
+	// apiserver fault layer, so a fault-free run's exposition is unchanged.
+	if sm.CPOn {
+		fmt.Fprintf(bw, "# HELP shssim_apiserver_up API server availability (1 up, 0.5 degraded, 0 down).\n")
+		fmt.Fprintf(bw, "# TYPE shssim_apiserver_up gauge\n")
+		up := map[string]string{"up": "1", "degraded": "0.5", "down": "0"}[sm.Availability]
+		fmt.Fprintf(bw, "shssim_apiserver_up %s\n", up)
+		fmt.Fprintf(bw, "# HELP shssim_apiserver_retries_total Client write reissues after unavailable/timeout errors.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_apiserver_retries_total counter\n")
+		fmt.Fprintf(bw, "shssim_apiserver_retries_total %d\n", sm.APIRetries)
+		fmt.Fprintf(bw, "# HELP shssim_apiserver_watch_relists_total Informer relist-and-replay repairs.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_apiserver_watch_relists_total counter\n")
+		fmt.Fprintf(bw, "shssim_apiserver_watch_relists_total %d\n", sm.WatchRelists)
+		fmt.Fprintf(bw, "# HELP shssim_apiserver_stale_reads_total Lister reads served from a known-stale cache.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_apiserver_stale_reads_total counter\n")
+		fmt.Fprintf(bw, "shssim_apiserver_stale_reads_total %d\n", sm.StaleReads)
+		fmt.Fprintf(bw, "# HELP shssim_apiserver_max_staleness_microseconds Longest observed cache staleness at repair time.\n")
+		fmt.Fprintf(bw, "# TYPE shssim_apiserver_max_staleness_microseconds gauge\n")
+		fmt.Fprintf(bw, "shssim_apiserver_max_staleness_microseconds %g\n", sm.MaxStalenessUs)
+	}
 	return bw.Flush()
 }
 

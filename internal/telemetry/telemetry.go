@@ -45,6 +45,11 @@ type Sources struct {
 	// every health field, keeping the series byte-identical to a build
 	// without the subsystem.
 	Health func() HealthStats
+	// ControlPlane reports the apiserver fault layer's state. Unlike
+	// Health it is attached even when the layer is dormant, because fault
+	// events arm it mid-run; Armed=false omits every control-plane field,
+	// keeping fault-free series byte-identical.
+	ControlPlane func() CPStats
 }
 
 // HealthStats is the health subsystem's snapshot for one sample: which
@@ -55,6 +60,19 @@ type HealthStats struct {
 	Cordoned    []string
 	Remediating int
 	Remediated  int
+}
+
+// CPStats is the control-plane fault layer's snapshot for one sample:
+// the API server's availability plus the client's cumulative retry,
+// relist and staleness counters. Armed is false until a fault event arms
+// the layer.
+type CPStats struct {
+	Armed          bool
+	Availability   string
+	Retries        uint64
+	Relists        uint64
+	StaleReads     uint64
+	MaxStalenessUs float64
 }
 
 // Config tunes a sampler.
@@ -117,6 +135,16 @@ type Sample struct {
 	Cordoned    []string `json:"cordoned,omitempty"`
 	Remediating int      `json:"remediating,omitempty"`
 	Remediated  int      `json:"remediated,omitempty"`
+
+	// Control-plane fields appear only once a fault event has armed the
+	// apiserver fault layer (CPOn true); omitempty keeps fault-free
+	// series unchanged.
+	CPOn           bool    `json:"cp,omitempty"`
+	Availability   string  `json:"apiserver,omitempty"`
+	APIRetries     uint64  `json:"apiserver_retries,omitempty"`
+	WatchRelists   uint64  `json:"watch_relists,omitempty"`
+	StaleReads     uint64  `json:"stale_reads,omitempty"`
+	MaxStalenessUs float64 `json:"max_staleness_us,omitempty"`
 }
 
 // Sampler snapshots Sources into a bounded ring on a periodic virtual-
@@ -280,6 +308,16 @@ func (s *Sampler) sample() {
 		sm.Cordoned = append(sm.Cordoned, hs.Cordoned...)
 		sm.Remediating = hs.Remediating
 		sm.Remediated = hs.Remediated
+	}
+	if s.src.ControlPlane != nil {
+		if cp := s.src.ControlPlane(); cp.Armed {
+			sm.CPOn = true
+			sm.Availability = cp.Availability
+			sm.APIRetries = cp.Retries
+			sm.WatchRelists = cp.Relists
+			sm.StaleReads = cp.StaleReads
+			sm.MaxStalenessUs = cp.MaxStalenessUs
+		}
 	}
 }
 
